@@ -1,0 +1,35 @@
+"""Benchmark suite configuration.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+experiment (timed via pytest-benchmark), asserts the paper's qualitative
+claims, prints the rendered table, and archives it under ``results/`` so
+the artifacts survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(result) -> str:
+    """Print and archive an ExperimentResult; returns the rendering.
+
+    If the experiment attached ASCII charts (``result.data["charts"]``),
+    they are appended — the archived artifact then regenerates the
+    paper's *figure*, not just its headline numbers.
+    """
+    text = result.render()
+    charts = result.data.get("charts")
+    if charts:
+        text = text + "\n\n" + "\n\n".join(charts)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(
+        ch if ch.isalnum() or ch in "._-" else "_"
+        for ch in result.experiment.lower().replace(" ", "_")
+    ).strip("_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

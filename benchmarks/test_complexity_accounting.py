@@ -1,0 +1,22 @@
+"""Bench: deterministic complexity accounting — WFQ's fluid-GPS work
+vs SFQ's O(1) self-clocking (Sections 1.2 / 2 / 2.5)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.complexity import run_complexity
+
+
+def test_complexity_accounting(benchmark):
+    result = benchmark.pedantic(
+        run_complexity, kwargs={"flow_counts": (4, 16, 64, 256)},
+        rounds=1, iterations=1,
+    )
+    worst = result.data["worst"]
+    amortized = result.data["amortized"]
+    # Worst single v(t) advance is linear in the flow population...
+    assert worst[256] == 257
+    assert worst[64] == 65
+    # ...while the amortized cost stays O(1).
+    assert max(amortized.values()) < 2.0
+    save_result(result)

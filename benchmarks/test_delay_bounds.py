@@ -1,0 +1,25 @@
+"""Bench: Theorems 4/5 + eq. 56-57 — per-packet delay bounds and the
+SFQ-vs-SCFQ maximum-delay comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.delay_bounds_exp import run_delay_bounds
+
+
+def test_delay_bounds(benchmark):
+    result = benchmark.pedantic(run_delay_bounds, rounds=1, iterations=1)
+    checks = result.data["checks"]
+    for server, per_sched in checks.items():
+        for sched, flows in per_sched.items():
+            for flow, (slack, _maxd) in flows.items():
+                assert slack >= -1e-9, (server, sched, flow)
+    # SFQ's slow-flow max delay beats SCFQ's on the constant server,
+    # realizing the eq. 57 gap.
+    const = checks["constant"]
+    assert const["SFQ"]["slow"][1] < const["SCFQ"]["slow"][1]
+    # Paper's 100 Mb/s worked example: ~24.4 ms (exact eq. 57: 24.98 ms).
+    assert result.data["paper_example_gap"] == pytest.approx(0.02498, rel=1e-3)
+    save_result(result)

@@ -1,0 +1,16 @@
+"""Bench: Theorem 7 — Delay EDD guarantees on FC servers and inside an
+SFQ hierarchy (separation of delay and throughput)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.delay_edd_exp import run_delay_edd
+
+
+def test_delay_edd(benchmark):
+    result = benchmark.pedantic(run_delay_edd, rounds=1, iterations=1)
+    assert result.data["schedulable"]  # eq. 67
+    for server, checks in result.data["checks"].items():
+        for flow, slack in checks.items():
+            assert slack >= -1e-9, f"eq. 68 violated on {server} for {flow}"
+    save_result(result)

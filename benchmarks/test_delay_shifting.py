@@ -1,0 +1,16 @@
+"""Bench: Section 3, eq. 69-73 — delay shifting via partitioning."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.delay_shifting import run_delay_shifting
+
+
+def test_delay_shifting(benchmark):
+    result = benchmark.pedantic(run_delay_shifting, rounds=1, iterations=1)
+    assert result.data["condition"]  # eq. 73 predicts a shift
+    assert result.data["part_bound"] < result.data["flat_bound"]
+    measured = result.data["measured"]
+    assert measured["part_fast"] < measured["flat_fast"]  # favored gain
+    assert measured["part_slow"] >= measured["flat_slow"]  # others pay
+    save_result(result)

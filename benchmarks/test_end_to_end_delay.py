@@ -1,0 +1,23 @@
+"""Bench: Corollary 1 — end-to-end delay over K SFQ hops."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.end_to_end_exp import run_end_to_end
+
+
+def test_end_to_end_delay(benchmark):
+    result = benchmark.pedantic(
+        run_end_to_end, kwargs={"max_hops": 5, "horizon": 8.0}, rounds=1, iterations=1
+    )
+    per_k = result.data["per_k"]
+    for k, row in per_k.items():
+        assert row["worst_slack"] >= -1e-9, f"Corollary 1 violated at K={k}"
+    # The SCFQ-SFQ bound gap grows linearly with K (paper: 24.4 ms ->
+    # 122 ms at K=5 in the 100 Mb/s example).
+    assert per_k[5]["scfq_gap"] == pytest.approx(5 * per_k[1]["scfq_gap"])
+    # Measured worst delay grows with hop count.
+    assert per_k[5]["max_delay"] > per_k[1]["max_delay"]
+    save_result(result)

@@ -1,0 +1,51 @@
+"""Bench: raw event-engine throughput.
+
+Not a paper artifact, but the number that decides whether laptop-scale
+reproduction of the paper's 1000-second simulations is practical: how
+many events per second the heapq loop sustains, and how event cost
+scales with heap population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Simulator
+
+
+@pytest.mark.parametrize("pending", [16, 4096])
+def test_event_dispatch_cost(benchmark, pending):
+    """Cost of one schedule+fire cycle with `pending` events queued."""
+    sim = Simulator()
+    clock = [0.0]
+    for i in range(pending):
+        sim.at(1e12 + i, lambda: None)  # far-future ballast
+
+    def cycle():
+        clock[0] += 1.0
+        sim.at(clock[0], lambda: None)
+        sim.run(until=clock[0])
+
+    benchmark.group = "engine: schedule+fire"
+    benchmark(cycle)
+
+
+def test_end_to_end_simulation_rate(benchmark):
+    """Packets per wall-second through a full SFQ link pipeline."""
+    from repro.core import SFQ, Packet
+    from repro.servers import ConstantCapacity, Link
+
+    def run_chunk():
+        sim = Simulator()
+        sched = SFQ(auto_register=False)
+        for i in range(8):
+            sched.add_flow(f"f{i}", 1000.0)
+        link = Link(sim, sched, ConstantCapacity(8000.0))
+        for i in range(8):
+            for s in range(125):
+                sim.at(0.0, lambda fl, q: link.send(Packet(fl, 100, seqno=q)), f"f{i}", s)
+        sim.run()
+        assert link.packets_transmitted == 1000
+
+    benchmark.group = "engine: full pipeline"
+    benchmark(run_chunk)

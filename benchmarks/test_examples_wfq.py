@@ -1,0 +1,25 @@
+"""Bench: regenerate Examples 1 and 2 (WFQ's fairness weaknesses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.examples_1_2 import run_example1, run_example2
+
+
+def test_example1_wfq_factor_two(benchmark):
+    result = benchmark.pedantic(run_example1, rounds=1, iterations=1)
+    assert result.data["gap"] == pytest.approx(2 * result.data["lower_bound"])
+    save_result(result)
+
+
+def test_example2_wfq_variable_rate_unfairness(benchmark):
+    result = benchmark.pedantic(
+        run_example2, kwargs={"c": 10.0}, rounds=1, iterations=1
+    )
+    wfq_f, wfq_m = result.data["counts"]["WFQ"]
+    sfq_f, sfq_m = result.data["counts"]["SFQ"]
+    assert wfq_f >= 9 and wfq_m <= 1  # paper: C-1 <= W_f, W_m <= 1
+    assert abs(sfq_f - sfq_m) <= 1
+    save_result(result)

@@ -1,0 +1,17 @@
+"""Bench: Appendix B — Fair Airport's Theorem 8 (fairness) and
+Theorem 9 (WFQ-equivalent delay guarantee)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.fair_airport_exp import run_fair_airport
+
+
+def test_fair_airport(benchmark):
+    result = benchmark.pedantic(run_fair_airport, rounds=1, iterations=1)
+    for server, case in result.data["cases"].items():
+        assert min(case["delays"].values()) >= -1e-6, server  # Theorem 9
+        for pair, (measured, bound) in case["fairness"].items():
+            assert measured <= bound + 1e-9, (server, pair)  # Theorem 8
+    assert result.data["cases"]["variable >= C"]["asq"] > 0
+    save_result(result)

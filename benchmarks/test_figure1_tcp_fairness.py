@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 1(b) — TCP fairness over a variable-rate
+server (priority VBR video + two TCP Reno flows, WFQ vs SFQ)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_tcp_fairness(benchmark):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    wfq = result.data["runs"]["WFQ"]
+    sfq = result.data["runs"]["SFQ"]
+    # Paper: WFQ starves src3 (2 packets in its first 435 ms)...
+    assert wfq.src3_first_435ms <= 15
+    assert wfq.src2_last_half > 3 * wfq.src3_last_half
+    # ...while SFQ shares almost exactly (189 vs 190 packets).
+    assert sfq.src3_first_435ms >= 80
+    assert sfq.src3_last_half == pytest.approx(sfq.src2_last_half, rel=0.15)
+    save_result(result)

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 2(a) — reduction in max delay, SFQ vs WFQ."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.figure2a import run_figure2a
+
+
+def test_figure2a_delay_delta(benchmark):
+    result = benchmark.pedantic(run_figure2a, rounds=1, iterations=1)
+    series = result.data["series"]
+    # Low-throughput flows gain under SFQ; crowded high-rate flows lose.
+    assert all(series[q][0] > 0 for q in series)  # 16 Kb/s always gains
+    assert series[400][-1] < 0  # 1 Mb/s with 400 flows loses
+    # Paper's mixed example: 64 Kb/s flows gain ~20.39 ms, 1 Mb/s flows
+    # lose ~2.48 ms (we compute 20.70/2.70 from eq. 58 exactly).
+    assert result.data["audio_delta"] == pytest.approx(0.0204, rel=0.05)
+    assert -result.data["video_delta"] == pytest.approx(0.0025, rel=0.15)
+    save_result(result)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 3(b) — weighted shares (1:2:3) on a
+fluctuating-capacity interface as connections terminate."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.figure3 import run_figure3
+
+
+def test_figure3_weighted_shares(benchmark):
+    result = benchmark.pedantic(
+        run_figure3, kwargs={"packets_per_connection": 3000}, rounds=1, iterations=1
+    )
+    p1 = result.data["phases"]["p1"]
+    assert p1["w2"] / p1["w1"] == pytest.approx(2.0, rel=0.05)
+    assert p1["w3"] / p1["w1"] == pytest.approx(3.0, rel=0.05)
+    p2 = result.data["phases"]["p2"]
+    assert p2["w3"] == 0
+    assert p2["w2"] / p2["w1"] == pytest.approx(2.0, rel=0.05)
+    p3 = result.data["phases"]["p3"]
+    assert p3["w1"] > 0 and p3["w2"] == 0 and p3["w3"] == 0
+    save_result(result)

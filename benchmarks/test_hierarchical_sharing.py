@@ -1,0 +1,26 @@
+"""Bench: Section 3 / Example 3 — hierarchical link sharing phases and
+the recursive (eq. 65) throughput guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_result
+from repro.experiments.link_sharing_exp import run_link_sharing
+
+
+def test_hierarchical_sharing(benchmark):
+    result = benchmark.pedantic(run_link_sharing, rounds=1, iterations=1)
+    p1, p2, p3 = result.data["phases"]
+    # Phase 1: C takes A's half; D idle; B takes its half.
+    assert p1["fc"] == pytest.approx(p1["fb"], rel=0.05)
+    assert p1["fd"] == 0
+    # Phase 2: C == D == link/4 each; B == link/2.
+    assert p2["fc"] == pytest.approx(p2["fd"], rel=0.1)
+    assert p2["fb"] == pytest.approx(p2["fc"] + p2["fd"], rel=0.1)
+    # Phase 3: B idle; C == D == link/2.
+    assert p3["fb"] == 0
+    assert p3["fc"] == pytest.approx(p3["fd"], rel=0.05)
+    # Recursive Theorem 2 through eq. 65.
+    assert result.data["recursive_measured"] >= result.data["recursive_floor"]
+    save_result(result)

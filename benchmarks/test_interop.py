@@ -1,0 +1,14 @@
+"""Bench: Section 2.4 — heterogeneous schedulers (SFQ, Virtual Clock,
+SCFQ) interoperate under the composed Corollary 1 bound."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.interop import run_interop
+
+
+def test_interop(benchmark):
+    result = benchmark.pedantic(run_interop, rounds=1, iterations=1)
+    assert result.data["checked"] > 100
+    assert result.data["worst_slack"] >= -1e-9
+    save_result(result)

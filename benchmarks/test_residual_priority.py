@@ -1,0 +1,15 @@
+"""Bench: Section 2.3 — the residual of a priority server is
+FC(C - rho, sigma) and Theorem 4 applies to the low band."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.residual_exp import run_residual
+
+
+def test_residual_priority(benchmark):
+    result = benchmark.pedantic(run_residual, rounds=1, iterations=1)
+    assert result.data["residual_delta"] <= result.data["sigma"] + 1e-6
+    for flow, slack in result.data["worst_slack"].items():
+        assert slack >= -1e-9, flow
+    save_result(result)

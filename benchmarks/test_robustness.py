@@ -1,0 +1,49 @@
+"""Bench: robustness of the two headline simulation results to the
+parameters the paper left unstated (TCP buffer depth, RNG seed)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.robustness import (
+    run_figure1_robustness,
+    run_figure2b_robustness,
+)
+
+
+def test_figure1_shape_robust(benchmark):
+    result = benchmark.pedantic(
+        run_figure1_robustness,
+        kwargs={"buffers": (200, 240, 320), "seeds": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    points = result.data["points"]
+    # The qualitative claim at EVERY point of the standing-queue regime:
+    for p in points:
+        assert p["wfq_ratio"] > 1.3, p        # WFQ favors the incumbent
+        assert 0.7 < p["sfq_ratio"] < 1.4, p  # SFQ shares near-evenly
+        assert p["sfq_435"] > p["wfq_435"], p  # SFQ ramps src3 faster
+        assert p["sfq_435"] >= 140, p
+    # WFQ's starvation deepens with the buffer; SFQ is insensitive.
+    by_buffer = {}
+    for p in points:
+        by_buffer.setdefault(p["buffer"], []).append(p)
+    wfq_means = {
+        b: sum(x["wfq_ratio"] for x in ps) / len(ps)
+        for b, ps in by_buffer.items()
+    }
+    buffers = sorted(wfq_means)
+    assert wfq_means[buffers[-1]] > 2 * wfq_means[buffers[0]]
+    save_result(result)
+
+
+def test_figure2b_excess_robust(benchmark):
+    result = benchmark.pedantic(
+        run_figure2b_robustness,
+        kwargs={"seeds": (11, 12, 13), "duration": 100.0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.data["mean"] > 0.25  # paper: +53%; shape needs >> 0
+    assert min(result.data["values"]) > 0.10
+    save_result(result)

@@ -1,0 +1,67 @@
+"""Bench: per-packet scheduling cost vs number of flows.
+
+The paper's complexity claims: SFQ and SCFQ are O(log Q) per packet
+(tag computation is O(1), the priority queue costs the log); DRR is
+O(1); WFQ pays the fluid GPS simulation on top of its O(log Q) heap.
+These are real pytest-benchmark micro-benchmarks: each measures one
+enqueue+dequeue+complete cycle over a standing population of Q
+backlogged flows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import DRR, FIFO, SCFQ, SFQ, FairAirport, VirtualClock, WFQ, Packet
+
+FLOW_COUNTS = [16, 256]
+
+MAKERS = {
+    "SFQ": lambda: SFQ(auto_register=False),
+    "SCFQ": lambda: SCFQ(auto_register=False),
+    "WFQ": lambda: WFQ(assumed_capacity=1e6, auto_register=False),
+    "VirtualClock": lambda: VirtualClock(auto_register=False),
+    "DRR": lambda: DRR(quantum_scale=1000.0, auto_register=False),
+    "FIFO": lambda: FIFO(auto_register=False),
+    # Appendix B claims FA's complexity matches dynamic-priority
+    # algorithms (O(log Q)); the release heap makes that true here too.
+    "FairAirport": lambda: FairAirport(auto_register=False),
+}
+
+
+def build_loaded_scheduler(name: str, n_flows: int):
+    """Scheduler with n_flows registered and 4 packets queued each."""
+    rng = random.Random(17)
+    sched = MAKERS[name]()
+    for i in range(n_flows):
+        sched.add_flow(f"f{i}", 1000.0 + i)
+    uid = itertools.count()
+    for i in range(n_flows):
+        for j in range(4):
+            sched.enqueue(Packet(f"f{i}", rng.choice((400, 800)), seqno=j), 0.0)
+    return sched
+
+
+@pytest.mark.parametrize("n_flows", FLOW_COUNTS)
+@pytest.mark.parametrize("algorithm", sorted(MAKERS))
+def test_per_packet_cost(benchmark, algorithm, n_flows):
+    sched = build_loaded_scheduler(algorithm, n_flows)
+    clock = itertools.count()
+    seq = itertools.count(1000)
+    rng = random.Random(23)
+    flow_ids = [f"f{i}" for i in range(n_flows)]
+
+    def cycle():
+        now = float(next(clock)) * 1e-3
+        packet = sched.dequeue(now)
+        sched.on_service_complete(packet, now)
+        # Refill the flow we just drained to keep the population stable.
+        sched.enqueue(
+            Packet(rng.choice(flow_ids), 400, seqno=next(seq)), now
+        )
+
+    benchmark.group = f"per-packet cost, Q={n_flows}"
+    benchmark(cycle)

@@ -1,0 +1,16 @@
+"""Bench: Theorem 1 under self-similar (Pareto) traffic on a
+Gilbert-Elliott outage link — the fairness bound is distribution-free."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.stress import run_stress
+
+
+def test_stress_offdistribution(benchmark):
+    result = benchmark.pedantic(run_stress, rounds=1, iterations=1)
+    measures = result.data["measures"]
+    bound = result.data["bound"]
+    assert measures["SFQ"] <= bound + 1e-9
+    assert measures["WFQ (assumed mean rate)"] > 2 * bound
+    save_result(result)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 1 (fairness of all algorithms)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_fairness(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    rows = result.data["rows"]
+    bound = result.data["sfq_bound"]
+    # Theorem 1 for the start-time/self-clocked algorithms.
+    assert rows["SFQ"]["const"] <= bound + 1e-9
+    assert rows["SFQ"]["variable"] <= bound + 1e-9
+    assert rows["SCFQ"]["variable"] <= bound + 1e-9
+    # Table 1's qualitative rows.
+    assert rows["WFQ"]["variable"] > 2 * bound  # unfair on variable rate
+    assert rows["FQS"]["variable"] > 2 * bound
+    assert (
+        rows["DRR (quantum=16xlmax)"]["const"]
+        > 4 * rows["DRR (quantum=1xlmax)"]["const"]
+    )  # unbounded with quantum
+    save_result(result)

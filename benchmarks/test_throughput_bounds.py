@@ -1,0 +1,14 @@
+"""Bench: Theorems 2/3 — SFQ throughput guarantees on FC/EBF servers."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.throughput_bounds import run_throughput_bounds
+
+
+def test_throughput_bounds(benchmark):
+    result = benchmark.pedantic(run_throughput_bounds, rounds=1, iterations=1)
+    for server, worst in result.data["worst_slack"].items():
+        for flow, slack in worst.items():
+            assert slack >= -1e-9, f"eq. 22 violated on {server} for {flow}"
+    save_result(result)

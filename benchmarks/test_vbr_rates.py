@@ -1,0 +1,15 @@
+"""Bench: Section 2.3's generalized SFQ (eq. 36) — per-packet rate
+allocation for VBR, with the rate-function admission test."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.vbr_rates import run_vbr_rates
+
+
+def test_vbr_rates(benchmark):
+    result = benchmark.pedantic(run_vbr_rates, rounds=1, iterations=1)
+    assert result.data["admission"]
+    assert result.data["worst_slack"] >= -1e-9
+    assert result.data["n_high"] > 0 and result.data["n_low"] > 0
+    save_result(result)

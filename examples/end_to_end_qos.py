@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""End-to-end QoS over a multi-hop path (paper Section 2.4, Cor. 1).
+
+A leaky-bucket-shaped audio flow crosses 4 SFQ switches with bursty
+cross traffic at every hop. The example computes the Corollary 1 /
+Appendix A.5 end-to-end delay bound from the flow's (sigma, rho)
+specification alone — no knowledge of the cross traffic — and compares
+it with the measured worst case.
+
+Run:  python examples/end_to_end_qos.py
+"""
+
+from repro import SFQ, ConstantCapacity, Packet, Simulator, kbps, mbps
+from repro.analysis import leaky_bucket_e2e_delay_bound
+from repro.network import Tandem
+from repro.traffic import CBRSource, LeakyBucketShaper, conforms
+
+K = 4
+CAPACITY = mbps(1)
+PROP = 0.005  # 5 ms per inter-switch hop
+AUDIO_RATE = kbps(64)
+AUDIO_PACKET = 200 * 8
+SIGMA = 5 * AUDIO_PACKET  # bucket: 5-packet bursts allowed
+CROSS = [("x1", kbps(300), 1500 * 8), ("x2", kbps(300), 600 * 8)]
+
+sim = Simulator()
+schedulers = []
+for _ in range(K):
+    sched = SFQ(auto_register=False)
+    sched.add_flow("audio", AUDIO_RATE)
+    for flow, rate, _length in CROSS:
+        sched.add_flow(flow, rate)
+    schedulers.append(sched)
+tandem = Tandem(
+    sim,
+    schedulers,
+    [ConstantCapacity(CAPACITY)] * K,
+    propagation_delays=[PROP] * (K - 1),
+    # Cross traffic is hop-local; only the audio flow crosses the path.
+    forward_filter=lambda packet: packet.flow == "audio",
+)
+
+# The audio source is bursty but shaped to (SIGMA, AUDIO_RATE). Its raw
+# rate briefly exceeds the bucket rate, so the shaper smooths bursts.
+shaper = LeakyBucketShaper(sim, tandem.ingress, sigma=SIGMA, rho=AUDIO_RATE)
+audio = CBRSource(
+    sim, "audio", shaper.send, rate=AUDIO_RATE * 1.25, packet_length=AUDIO_PACKET,
+    stop_time=16.0,
+)
+audio.start()
+
+# Independent bursty cross traffic at every hop.
+for link in tandem.links:
+    for flow, rate, length in CROSS:
+        gap = 8 * length / rate
+        t = 0.0
+        seq = 0
+        while t < 20.0:
+            for _ in range(8):
+                sim.at(
+                    t,
+                    lambda lk, fl, lb, s: lk.send(Packet(fl, lb, seqno=s)),
+                    link, flow, length, seq,
+                )
+                seq += 1
+            t += gap
+sim.run(until=30.0)
+
+# ----------------------------------------------------------------------
+# Corollary 1 + A.5 bound from (sigma, rho) only.
+# ----------------------------------------------------------------------
+sum_lmax_others = sum(length for _f, _r, length in CROSS)
+beta_per_hop = sum_lmax_others / CAPACITY + AUDIO_PACKET / CAPACITY  # delta = 0
+bound = leaky_bucket_e2e_delay_bound(
+    sigma=SIGMA,
+    rho=AUDIO_RATE,
+    r_hat=AUDIO_RATE,
+    l_packet=AUDIO_PACKET,
+    betas=[beta_per_hop] * K,
+    propagation_delays=[PROP] * (K - 1),
+)
+
+first_hop = tandem.links[0].tracer.for_flow("audio")
+arrivals = [(r.arrival, r.length) for r in first_hop]
+# Corollary 1 / A.5 bound the delay from *arrival at the first server*
+# (post-shaper) to departure from server K.
+arrival_by_seq = {r.seqno: r.arrival for r in first_hop}
+delays = [
+    exit_time - arrival_by_seq[seqno]
+    for exit_time, seqno in tandem.sink.series("audio")
+]
+
+print(f"=== {K}-hop end-to-end delay guarantee (Corollary 1 + A.5) ===\n")
+print(f"audio flow: 64 Kb/s, 200 B packets, shaped to sigma = 5 packets")
+print(f"shaped arrivals conform to (sigma, rho): "
+      f"{conforms(arrivals, SIGMA * 1.000001, AUDIO_RATE)}")
+print(f"packets delivered end-to-end: {len(delays)}")
+print(f"measured mean delay:  {sum(delays)/len(delays)*1e3:8.2f} ms")
+print(f"measured max delay:   {max(delays)*1e3:8.2f} ms")
+print(f"analytic e2e bound:   {bound*1e3:8.2f} ms")
+assert max(delays) <= bound + 1e-9, "Corollary 1 violated!"
+print(
+    "\nThe bound needed only the flow's own (sigma, rho) and per-hop "
+    "beta terms —\nindependent of cross-traffic behaviour (the "
+    "isolation property of the\nEAT-based guarantee)."
+)

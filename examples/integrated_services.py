@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The paper's Section 1 scenario, end to end: one integrated-services
+network carrying everything at once.
+
+A two-switch campus backbone (src -> sw1 -> sw2 -> dst) runs
+hierarchical SFQ on the bottleneck edge:
+
+    root
+    ├── realtime (50%)   -- interactive audio (CBR) + VBR video
+    └── besteffort (50%)
+        ├── bulk (1)     -- TCP Reno file transfer
+        └── interactive (1) -- telnet-like Poisson traffic
+
+The run demonstrates the paper's five requirements in one place:
+low delay for the audio flow, fairness for VBR video, fair throughput
+for flow-controlled data, hierarchical sharing, and self-clocked
+operation (no capacity estimates anywhere).
+
+Run:  python examples/integrated_services.py
+"""
+
+import random
+
+from repro import (
+    SFQ,
+    ConstantCapacity,
+    HierarchicalScheduler,
+    Link,
+    Packet,
+    Simulator,
+    kbps,
+    mbps,
+)
+from repro.analysis import delay_summary
+from repro.simulation import RandomStreams
+from repro.traffic import CBRSource, PoissonSource, VBRVideoSource
+from repro.transport import PacketSink, TcpReceiver, TcpSender
+
+BOTTLENECK = mbps(4)
+ACCESS = mbps(10)
+HORIZON = 20.0
+
+sim = Simulator()
+streams = RandomStreams(2)
+
+# --- Bottleneck edge: hierarchical SFQ --------------------------------
+hs = HierarchicalScheduler()
+hs.add_class("root", "realtime", weight=1.0)
+hs.add_class("root", "besteffort", weight=1.0)
+hs.attach_flow("audio", "realtime", weight=kbps(64))
+hs.attach_flow("video", "realtime", weight=mbps(1.5))
+hs.add_class("besteffort", "bulk", weight=1.0)
+hs.add_class("besteffort", "interactive", weight=1.0)
+hs.attach_flow("ftp", "bulk", weight=1.0)
+hs.attach_flow("telnet", "interactive", weight=1.0)
+
+access = Link(sim, SFQ(), ConstantCapacity(ACCESS), name="sw1-access")
+bottleneck = Link(
+    sim, hs, ConstantCapacity(BOTTLENECK), name="sw1->sw2",
+    per_flow_buffer_packets={"ftp": 64},
+)
+access.departure_hooks.append(lambda p, t: bottleneck.send(p.fork()))
+sink = PacketSink("dst")
+bottleneck.departure_hooks.append(sink.on_packet)
+
+# --- Sources -----------------------------------------------------------
+CBRSource(
+    sim, "audio", access.send, rate=kbps(64), packet_length=160 * 8,
+    stop_time=HORIZON,
+).start()
+VBRVideoSource(
+    sim, "video", access.send, mean_rate=mbps(1.21),
+    rng=streams.stream("video"), stop_time=HORIZON,
+).start()
+PoissonSource(
+    sim, "telnet", access.send, rate=kbps(40), packet_length=64 * 8,
+    rng=streams.stream("telnet"), stop_time=HORIZON,
+).start()
+
+rx = TcpReceiver(sim, "ftp", ack_path_delay=0.004)
+tx = TcpSender(sim, "ftp", access.send, rx, segment_bytes=1000)
+bottleneck.departure_hooks.append(rx.on_packet)
+tx.start()
+
+sim.run(until=HORIZON)
+
+# --- Report ------------------------------------------------------------
+print("=== Integrated services on a 4 Mb/s bottleneck (hierarchical SFQ) ===\n")
+print(hs.describe())
+print()
+print(f"{'flow':<8}{'goodput':>12}{'mean delay':>13}{'max delay':>12}")
+for flow in ("audio", "video", "telnet", "ftp"):
+    stats = delay_summary(bottleneck.tracer, flow)
+    bits = bottleneck.tracer.work_in_interval(flow, 0, HORIZON)
+    print(
+        f"{flow:<8}{bits / HORIZON / 1e6:>10.2f}Mb{stats['mean'] * 1e3:>11.2f}ms"
+        f"{stats['max'] * 1e3:>10.2f}ms"
+    )
+
+audio = delay_summary(bottleneck.tracer, "audio")
+telnet = delay_summary(bottleneck.tracer, "telnet")
+ftp_bits = bottleneck.tracer.work_in_interval("ftp", 0, HORIZON)
+video_bits = bottleneck.tracer.work_in_interval("video", 0, HORIZON)
+assert audio["max"] < 0.050, "audio delay must stay interactive"
+assert telnet["mean"] < 0.050, "telnet delay must stay interactive"
+assert ftp_bits > 0.3 * BOTTLENECK * HORIZON, "ftp must soak spare capacity"
+print(
+    "\nThe audio/telnet flows keep interactive delays although an "
+    "unconstrained TCP\nfills every spare bit; VBR video rides its "
+    "reservation without being penalized\nfor bursts — the paper's "
+    "Section 1 checklist, all at once."
+)
+print(f"\nTCP state: cwnd={tx.cwnd:.1f} segs, retransmits={tx.retransmissions}, "
+      f"timeouts={tx.timeouts}")

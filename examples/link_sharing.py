@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Hierarchical link sharing (paper Section 3).
+
+Builds the link-sharing structure an ISP might configure on a 10 Mb/s
+access link:
+
+    root
+    ├── realtime (40%)          <- Delay EDD leaf: deadline flows
+    ├── business (40%)
+    │   ├── video  (3)
+    │   └── data   (1)
+    └── besteffort (20%)
+
+and demonstrates: (a) weighted sharing at every level, (b) isolation —
+best-effort saturation cannot touch the business classes, (c) unused
+bandwidth redistribution when the realtime class goes quiet, and
+(d) separation of delay and throughput via the Delay EDD leaf.
+
+Run:  python examples/link_sharing.py
+"""
+
+from repro import (
+    ConstantCapacity,
+    DelayEDD,
+    HierarchicalScheduler,
+    Link,
+    Packet,
+    Simulator,
+    mbps,
+)
+from repro.analysis import delay_summary
+
+LINK = mbps(10)
+PACKET = 1000 * 8
+
+sim = Simulator()
+hs = HierarchicalScheduler()
+
+edd = DelayEDD()
+edd.add_flow_with_deadline("voip", rate=mbps(0.5), deadline=0.02)
+edd.add_flow_with_deadline("gaming", rate=mbps(1.5), deadline=0.05)
+hs.add_class("root", "realtime", weight=4.0, scheduler=edd)
+hs.add_class("root", "business", weight=4.0)
+hs.add_class("root", "besteffort", weight=2.0)
+hs.add_class("business", "video", weight=3.0)
+hs.add_class("business", "data", weight=1.0)
+hs.attach_flow("voip", "realtime", weight=mbps(0.5))
+hs.attach_flow("gaming", "realtime", weight=mbps(1.5))
+hs.attach_flow("conf", "video", weight=1.0)
+hs.attach_flow("erp", "data", weight=1.0)
+hs.attach_flow("web", "besteffort", weight=1.0)
+
+print("Link-sharing structure:")
+print(hs.describe())
+print()
+
+link = Link(sim, hs, ConstantCapacity(LINK), name="access")
+
+
+def cbr(flow, rate, stop, seq=0):
+    def tick(seq=0):
+        if sim.now < stop:
+            link.send(Packet(flow, PACKET, seqno=seq))
+            sim.after(PACKET / rate, tick, seq + 1)
+
+    return tick
+
+
+# Realtime flows run for the first 6 s only; everything else is greedy.
+sim.at(0.0, cbr("voip", mbps(0.5), stop=6.0))
+sim.at(0.0, cbr("gaming", mbps(1.5), stop=6.0))
+for flow in ("conf", "erp", "web"):
+    sim.at(0.0, lambda fl=flow: [link.send(Packet(fl, PACKET, seqno=i)) for i in range(12000)])
+sim.run(until=12.0)
+
+
+def mbps_in(flow, t1, t2):
+    return link.tracer.work_in_interval(flow, t1, t2) / (t2 - t1) / 1e6
+
+
+print("Throughput (Mb/s) while realtime is active [0s, 6s]:")
+for flow in ("voip", "gaming", "conf", "erp", "web"):
+    print(f"  {flow:<7} {mbps_in(flow, 0, 6):6.2f}")
+print("\nThroughput (Mb/s) after realtime stops [6s, 12s]:")
+for flow in ("conf", "erp", "web"):
+    print(f"  {flow:<7} {mbps_in(flow, 6, 12):6.2f}")
+
+print("\nRealtime delay (Delay EDD separates deadline from rate):")
+for flow in ("voip", "gaming"):
+    stats = delay_summary(link.tracer, flow)
+    print(f"  {flow:<7} mean {stats['mean']*1e3:6.2f} ms   max {stats['max']*1e3:6.2f} ms")
+
+print(
+    "\nNotes: business video:data holds 3:1 at every load; when the "
+    "realtime class\nidles, its 40% flows back to business and "
+    "best-effort in 4:2 proportion —\nExample 3's redistribution, "
+    "powered by SFQ's variable-rate fairness at each\ninterior node "
+    "(eq. 65 makes every class an FC virtual server)."
+)

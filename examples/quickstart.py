@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: Start-time Fair Queuing in ~40 lines.
+
+Three flows — interactive audio, bulk FTP, and VBR-ish video — share a
+1.5 Mb/s link under SFQ. The example shows the three things SFQ is for:
+
+1. weighted bandwidth shares hold while everyone is backlogged;
+2. a flow using idle bandwidth is never punished later;
+3. the low-throughput audio flow sees low delay.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SFQ, ConstantCapacity, Link, Packet, Simulator, kbps, mbps
+from repro.analysis import delay_summary
+
+LINK_RATE = mbps(1.5)
+
+sim = Simulator()
+sfq = SFQ(auto_register=False)
+sfq.add_flow("audio", weight=kbps(64))
+sfq.add_flow("ftp", weight=kbps(436))
+sfq.add_flow("video", weight=mbps(1))
+link = Link(sim, sfq, ConstantCapacity(LINK_RATE), name="uplink")
+
+
+def audio_talkspurt(seq=0):
+    """64 Kb/s CBR: one 160-byte packet every 20 ms."""
+    if sim.now < 10.0:
+        link.send(Packet("audio", 160 * 8, seqno=seq))
+        sim.after(0.020, audio_talkspurt, seq + 1)
+
+
+def ftp_bulk():
+    """FTP dumps a large backlog at t=0: always backlogged."""
+    for i in range(800):
+        link.send(Packet("ftp", 1500 * 8, seqno=i))
+
+
+def video_frames(seq=0, frame=0):
+    """30 fps, alternating large/small frames, 1000-byte packets."""
+    if sim.now < 10.0:
+        frame_bits = (60_000 if frame % 12 == 0 else 25_000)
+        for _ in range(frame_bits // 8000):
+            link.send(Packet("video", 8000, seqno=seq))
+            seq += 1
+        sim.after(1 / 30, video_frames, seq, frame + 1)
+
+
+sim.at(0.0, audio_talkspurt)
+sim.at(0.0, ftp_bulk)
+sim.at(0.0, video_frames)
+sim.run(until=10.0)
+
+print("=== SFQ quickstart: 10 s on a 1.5 Mb/s link ===\n")
+print(f"{'flow':<8} {'weight':>10} {'received':>12} {'mean delay':>12} {'max delay':>12}")
+for flow in ("audio", "ftp", "video"):
+    stats = delay_summary(link.tracer, flow)
+    bits = link.tracer.work_in_interval(flow, 0.0, 10.0)
+    weight = sfq.flows[flow].weight
+    print(
+        f"{flow:<8} {weight / 1000:>8.0f}Kb {bits / 10 / 1000:>10.1f}Kb/s"
+        f" {stats['mean'] * 1e3:>10.2f}ms {stats['max'] * 1e3:>10.2f}ms"
+    )
+
+print(
+    "\nNote how the 64 Kb/s audio flow's delay stays near its own "
+    "packet time\nalthough an always-backlogged FTP flow shares the "
+    "link: that is SFQ's\nstart-tag scheduling (Theorem 4's bound does "
+    "not couple delay to rate\nthe way WFQ's l/r term does)."
+)

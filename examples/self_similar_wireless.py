@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""SFQ off-distribution: self-similar traffic on a bursty wireless link.
+
+Theorem 1's fairness proof never looks at the traffic or the server —
+only at the tags. This example takes that seriously: heavy-tailed
+Pareto on-off sources (the self-similar regime of 1990s traffic
+measurement) share a Gilbert-Elliott link that suffers total outages,
+and SFQ's normalized-service gap still respects the Theorem 1 bound
+while WFQ — which must assume some fixed capacity — blows through it.
+
+Run:  python examples/self_similar_wireless.py
+"""
+
+import random
+
+from repro import SFQ, WFQ, GilbertElliottCapacity, Link, Packet, Simulator
+from repro.analysis import empirical_fairness_measure, sfq_fairness_bound
+from repro.traffic import ParetoOnOffSource
+
+MEAN_RATE = 50_000.0
+PACKET = 500
+HORIZON = 60.0
+
+
+def run(name, make_sched, seed=13):
+    sim = Simulator()
+    sched = make_sched()
+    sched.add_flow("video", 2.0)
+    sched.add_flow("data", 1.0)
+    link = Link(
+        sim,
+        sched,
+        GilbertElliottCapacity(
+            good_rate=2 * MEAN_RATE,
+            bad_rate=0.0,
+            p_gb=0.08,
+            p_bg=0.08,
+            slot=0.01,
+            rng=random.Random(seed),
+        ),
+    )
+    # A greedy flow and a heavy-tailed bursty flow.
+    n = int(HORIZON * MEAN_RATE / PACKET)
+    sim.at(0.0, lambda: [link.send(Packet("video", PACKET, seqno=i)) for i in range(n)])
+    ParetoOnOffSource(
+        sim, "data", link.send, peak_rate=MEAN_RATE, packet_length=PACKET,
+        rng=random.Random(seed + 1), alpha=1.4, min_on=0.1, min_off=0.1,
+        stop_time=HORIZON / 2,
+    ).start()
+    sim.at(HORIZON / 2, lambda: [
+        link.send(Packet("data", PACKET, seqno=5000 + i)) for i in range(n // 2)
+    ])
+    sim.run(until=HORIZON)
+    return empirical_fairness_measure(link.tracer, "video", "data", 2.0, 1.0, max_epochs=600)
+
+
+bound = sfq_fairness_bound(PACKET, 2.0, PACKET, 1.0)
+print("=== Theorem 1 on a Gilbert-Elliott outage link, Pareto traffic ===\n")
+print(f"Theorem 1 bound for SFQ (any server, any traffic): {bound:.0f} s\n")
+print(f"{'scheduler':<28}{'empirical H(video,data)':>24}")
+for name, make in (
+    ("SFQ", lambda: SFQ(auto_register=False)),
+    ("WFQ (assumes mean rate)", lambda: WFQ(assumed_capacity=MEAN_RATE, auto_register=False)),
+):
+    h = run(name, make)
+    flag = "  <= bound" if h <= bound else "  VIOLATES the SFQ bound"
+    print(f"{name:<28}{h:>22.0f} s{flag}")
+
+print(
+    "\nWFQ is not *wrong* — no constant capacity is correct for a link "
+    "that is\nsometimes dark. SFQ's self-clocking (v = start tag in "
+    "service) needs no\ncapacity estimate at all; that is the paper's "
+    "central argument."
+)

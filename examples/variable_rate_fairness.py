@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Variable-rate fairness: the paper's Figure 1 scenario, end to end.
+
+A 2.5 Mb/s switch output link carries a strict-priority MPEG VBR video
+stream (1.21 Mb/s mean, 50-byte packets) plus two TCP Reno flows that
+share the fluctuating residual under either WFQ or SFQ. TCP flow 3
+starts 500 ms late.
+
+This is the paper's headline experiment: WFQ — whose fluid virtual
+time assumes the full link rate — lets the incumbent TCP flow lock out
+the newcomer for hundreds of milliseconds; SFQ shares the residual
+almost perfectly from the first packet.
+
+Run:  python examples/variable_rate_fairness.py
+"""
+
+from repro.experiments.figure1 import run_figure1, run_figure1_variant
+
+result = run_figure1()
+print(result.render())
+
+print()
+print("Receive-progress detail (packets delivered to the destination):")
+for algorithm in ("WFQ", "SFQ"):
+    run = run_figure1_variant(algorithm)
+    print(
+        f"  {algorithm}: totals src2={run.src2_total}, src3={run.src3_total}; "
+        f"video={run.video_packets} pkts"
+    )
+
+print(
+    "\nPaper reference: under WFQ source 3 received 2 packets in its "
+    "first 435 ms\n(vs 145 under SFQ); in the final 500 ms SFQ "
+    "delivered 189/190 packets for\nsources 2/3. Our Reno and buffer "
+    "parameters differ from REAL's defaults, so\nabsolute counts "
+    "shift, but the starvation-vs-equal-share shape is identical."
+)

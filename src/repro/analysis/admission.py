@@ -1,0 +1,102 @@
+"""Admission control tests.
+
+The paper's guarantees hold under admission conditions:
+
+* Theorems 2-5 require :math:`\\sum_{n \\in Q} r_n \\le C` (or, for
+  per-packet rates, :math:`\\sum_n R_n(v) \\le C` at every virtual time);
+* Theorem 7 (Delay EDD) requires the schedulability test of eq. 67.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def rates_admissible(rates: Sequence[float], capacity: float) -> bool:
+    """Σ r_n <= C (with a tiny tolerance for float accumulation)."""
+    return sum(rates) <= capacity * (1 + 1e-12)
+
+
+def rate_functions_admissible(
+    tagged_packets: Sequence[Sequence[Tuple[float, float, float]]],
+    capacity: float,
+) -> bool:
+    """Check Σ_n R_n(v) <= C for all v (Section 2.3's capacity notion).
+
+    ``tagged_packets[n]`` lists flow n's packets as ``(start_tag,
+    finish_tag, rate)``; R_n(v) is the rate of the packet whose tag span
+    covers v. Checked exactly at all start-tag breakpoints.
+    """
+    events: List[Tuple[float, float]] = []  # (virtual time, rate delta)
+    for packets in tagged_packets:
+        for start, finish, rate in packets:
+            if finish <= start:
+                raise ValueError("finish tag must exceed start tag")
+            events.append((start, rate))
+            events.append((finish, -rate))
+    events.sort()
+    total = 0.0
+    i = 0
+    while i < len(events):
+        v = events[i][0]
+        while i < len(events) and events[i][0] == v:
+            total += events[i][1]
+            i += 1
+        if total > capacity * (1 + 1e-9):
+            return False
+    return True
+
+
+def delay_edd_schedulable(
+    flows: Sequence[Tuple[float, float, float]],
+    capacity: float,
+    horizon: float | None = None,
+) -> bool:
+    """Theorem 7's schedulability condition (eq. 67).
+
+    ``flows`` holds ``(rate, packet_length, deadline)`` triples. The
+    condition is
+
+    .. math::
+
+       \\forall t > 0: \\sum_n \\max\\left(0,
+       \\left\\lceil \\frac{(t - d_n) r_n}{l_n} \\right\\rceil
+       \\frac{l_n}{C}\\right) \\le t
+
+    The left side is piecewise constant, jumping only at
+    :math:`t = d_n + k\\, l_n / r_n`; it suffices to check just after
+    each jump, up to a horizon where the average slope proves the rest.
+    """
+    for rate, length, deadline in flows:
+        if rate <= 0 or length <= 0 or deadline <= 0:
+            raise ValueError("rates, lengths, deadlines must be positive")
+    total_rate = sum(r for r, _l, _d in flows)
+    if total_rate > capacity:
+        return False  # the slope alone eventually violates the condition
+    if horizon is None:
+        # Beyond max deadline + the worst transient, slope <= 1 keeps the
+        # inequality; a safe horizon is where the linearized demand with
+        # the +1 ceiling slack crosses t.
+        slack = sum(l / capacity for _r, l, _d in flows)
+        max_d = max(d for _r, _l, d in flows)
+        denom = 1 - total_rate / capacity
+        horizon = max_d + (slack / denom if denom > 0 else slack + max_d * 10)
+
+    breakpoints: List[float] = []
+    for rate, length, deadline in flows:
+        step = length / rate
+        t = deadline
+        while t <= horizon:
+            breakpoints.append(t)
+            t += step
+    for t in sorted(set(breakpoints)):
+        t_eps = t + 1e-12
+        demand = 0.0
+        for rate, length, deadline in flows:
+            if t_eps > deadline:
+                quanta = math.ceil((t_eps - deadline) * rate / length)
+                demand += quanta * length / capacity
+        if demand > t_eps + 1e-9:
+            return False
+    return True

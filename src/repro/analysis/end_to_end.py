@@ -1,0 +1,92 @@
+"""End-to-end delay composition — Theorem 6, Corollary 1, Appendix A.5.
+
+A network of servers, each guaranteeing
+:math:`P(L^i(p) \\le EAT^i(p) + \\beta^i + \\gamma) \\ge 1 - B^i e^{-\\lambda^i \\gamma}`,
+guarantees (Corollary 1, eq. 64)
+
+.. math::
+
+   P\\Big(L^K(p) \\le EAT^1(p) + \\sum_n \\beta^n + \\sum_n \\tau^{n,n+1}
+   + \\gamma\\Big) \\ge 1 - \\big(\\sum_n B^n\\big)
+   e^{-\\gamma / \\sum_n (1/\\lambda^n)}
+
+Deterministic FC servers are the B=0 special case. A.5 then turns the
+EAT-based guarantee into a delay bound for leaky-bucket flows using
+:math:`e^j \\le \\sigma / r`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class ServerGuarantee:
+    """One hop's (62)-style guarantee: beta seconds, (B, lambda) tail."""
+
+    beta: float
+    b: float = 0.0
+    lam: float = float("inf")
+
+
+def compose_path(
+    hops: Sequence[ServerGuarantee], propagation_delays: Sequence[float]
+) -> ServerGuarantee:
+    """Corollary 1: compose per-hop guarantees into a path guarantee.
+
+    Returns a :class:`ServerGuarantee` whose ``beta`` includes the
+    propagation delays, with the composed ``(B, lambda)`` envelope.
+    """
+    if len(propagation_delays) != max(0, len(hops) - 1):
+        raise ValueError("need K-1 propagation delays for K hops")
+    beta = sum(h.beta for h in hops) + sum(propagation_delays)
+    b = sum(h.b for h in hops)
+    inv = sum(1.0 / h.lam for h in hops if h.lam != float("inf"))
+    lam = float("inf") if inv == 0 else 1.0 / inv
+    return ServerGuarantee(beta=beta, b=b, lam=lam)
+
+
+def deterministic_path_bound(
+    eat_first: float,
+    betas: Sequence[float],
+    propagation_delays: Sequence[float],
+) -> float:
+    """Eq. 64 with B=0: L^K(p) <= EAT^1(p) + sum(beta) + sum(tau)."""
+    if len(propagation_delays) != max(0, len(betas) - 1):
+        raise ValueError("need K-1 propagation delays for K hops")
+    return eat_first + sum(betas) + sum(propagation_delays)
+
+
+def path_delay_tail(guarantee: ServerGuarantee, gamma: float) -> float:
+    """P(path delay exceeds its composed bound by more than gamma)."""
+    if gamma < 0:
+        raise ValueError("gamma must be non-negative")
+    if guarantee.lam == float("inf"):
+        return 0.0
+    return guarantee.b * math.exp(-gamma * guarantee.lam)
+
+
+def leaky_bucket_e2e_delay_bound(
+    sigma: float,
+    rho: float,
+    r_hat: float,
+    l_packet: float,
+    betas: Sequence[float],
+    propagation_delays: Sequence[float],
+) -> float:
+    """A.5's closed form for (sigma, rho) flows.
+
+    :math:`e^j = EAT^1 + l^j/\\hat r - A^1 \\le \\sigma/r` for any
+    ``r <= r_hat``; taking ``r = r_hat``:
+
+    .. math:: d^j \\le \\sigma/\\hat r - l^j/\\hat r + \\sum\\beta + \\sum\\tau
+    """
+    if rho > r_hat:
+        raise ValueError(
+            f"flow rate rho={rho} exceeds reserved rate r_hat={r_hat}; "
+            "the queueing backlog would be unbounded"
+        )
+    theta = sum(betas) + sum(propagation_delays)
+    return sigma / r_hat - l_packet / r_hat + theta

@@ -1,0 +1,68 @@
+"""Classical queueing-theory reference formulas.
+
+Used to cross-validate the simulator: a single FIFO server fed by
+Poisson arrivals of fixed-size packets is an M/D/1 queue, whose mean
+wait has a closed form (Pollaczek–Khinchine). The Figure 2(b)
+simulation aggregate is close to M/D/1 (superposition of independent
+Poisson flows is Poisson; packets are fixed-size), so the analytic
+value anchors the absolute delay scale of the reproduction.
+
+All formulas use: arrival rate λ (packets/s), service time s (seconds,
+deterministic) or mean service 1/μ, utilization ρ = λ·s < 1.
+"""
+
+from __future__ import annotations
+
+
+def _check_utilization(rho: float) -> None:
+    if not 0 <= rho < 1:
+        raise ValueError(f"utilization must be in [0, 1), got {rho}")
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean waiting time (excluding own service) of an M/D/1 queue.
+
+    Pollaczek–Khinchine: W = ρ s / (2 (1 - ρ)).
+    """
+    rho = arrival_rate * service_time
+    _check_utilization(rho)
+    return rho * service_time / (2 * (1 - rho))
+
+
+def md1_mean_delay(arrival_rate: float, service_time: float) -> float:
+    """Mean sojourn (wait + service) of an M/D/1 queue."""
+    return md1_mean_wait(arrival_rate, service_time) + service_time
+
+
+def mm1_mean_delay(arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn of an M/M/1 queue: 1 / (μ - λ)."""
+    rho = arrival_rate / service_rate
+    _check_utilization(rho)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mg1_mean_wait(
+    arrival_rate: float, mean_service: float, second_moment_service: float
+) -> float:
+    """Pollaczek–Khinchine for general service: W = λ E[S²] / (2(1-ρ))."""
+    rho = arrival_rate * mean_service
+    _check_utilization(rho)
+    return arrival_rate * second_moment_service / (2 * (1 - rho))
+
+
+def md1_p_wait_exceeds(arrival_rate: float, service_time: float, t: float) -> float:
+    """Crude exponential tail estimate for M/D/1 wait (upper-ish bound).
+
+    Uses the effective-bandwidth decay rate θ solving the Kingman bound
+    shape ``P(W > t) <= exp(-2 (1-ρ) t / (ρ s))`` — adequate for
+    sanity-window assertions, not for precision work.
+    """
+    rho = arrival_rate * service_time
+    _check_utilization(rho)
+    if t < 0:
+        raise ValueError("t must be non-negative")
+    if rho == 0:
+        return 0.0
+    import math
+
+    return math.exp(-2 * (1 - rho) * t / (rho * service_time))

@@ -1,0 +1,70 @@
+"""Empirical characterization of capacity processes.
+
+Given any :class:`repro.servers.base.CapacityProcess`, these helpers
+*measure* the FC burstiness δ(C) (Definition 1) and sample the EBF
+deficit tail (Definition 2), so experiments can use honest, certified
+parameters in the theorem bounds instead of trusting constructor
+arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.servers.base import CapacityProcess
+
+
+def measure_fc_delta(
+    capacity: CapacityProcess,
+    guarantee_rate: float,
+    horizon: float,
+    step: float,
+) -> float:
+    """Empirical δ: max over sampled intervals of C·(t2-t1) - W(t1,t2).
+
+    Uses the running-minimum identity: with D(t) = C·t - W(0,t), the
+    worst interval deficit is max_t [D(t) - min_{s<=t} D(s)], computable
+    in one pass over a time grid.
+    """
+    if step <= 0 or horizon <= 0:
+        raise ValueError("step and horizon must be positive")
+    delta = 0.0
+    deficit = 0.0
+    min_deficit = 0.0
+    t = 0.0
+    while t < horizon:
+        t_next = min(t + step, horizon)
+        work = capacity.work(t, t_next)
+        deficit += guarantee_rate * (t_next - t) - work
+        min_deficit = min(min_deficit, deficit)
+        delta = max(delta, deficit - min_deficit)
+        t = t_next
+    return delta
+
+
+def sample_ebf_deficits(
+    capacity: CapacityProcess,
+    guarantee_rate: float,
+    delta: float,
+    horizon: float,
+    n_samples: int,
+    rng: Optional[random.Random] = None,
+    min_window: float = 0.0,
+) -> List[float]:
+    """Sample interval deficits beyond δ for EBF envelope fitting.
+
+    Draws random intervals [t1, t2] in [0, horizon] and returns
+    ``max(0, C·(t2-t1) - W(t1,t2) - delta)`` for each — the γ exceedances
+    whose tail Definition 2 bounds by ``B e^{-αγ}``.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    samples: List[float] = []
+    for _ in range(n_samples):
+        t1 = rng.uniform(0, horizon)
+        t2 = rng.uniform(t1 + min_window, horizon) if t1 + min_window < horizon else horizon
+        if t2 <= t1:
+            continue
+        deficit = guarantee_rate * (t2 - t1) - capacity.work(t1, t2) - delta
+        samples.append(max(0.0, deficit))
+    return samples

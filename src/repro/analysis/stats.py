@@ -1,0 +1,71 @@
+"""Statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.simulation.tracing import Tracer
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def windowed_throughput(
+    tracer: Tracer, flow: Hashable, window: float, horizon: float
+) -> List[Tuple[float, float]]:
+    """Bit rate of ``flow`` per window: [(window_end, bits/s), ...].
+
+    Figure 3(b)-style series: attribute each departed packet to the
+    window containing its departure.
+    """
+    if window <= 0 or horizon <= 0:
+        raise ValueError("window and horizon must be positive")
+    n_windows = int(math.ceil(horizon / window))
+    bits = [0] * n_windows
+    for record in tracer.departed(flow):
+        idx = int(record.departure / window)
+        if idx < n_windows:
+            bits[idx] += record.length
+    return [((i + 1) * window, b / window) for i, b in enumerate(bits)]
+
+
+def delay_summary(tracer: Tracer, flow: Hashable) -> Dict[str, float]:
+    """Mean / p99 / max delay of a flow at one server."""
+    delays = tracer.delays(flow)
+    if not delays:
+        return {"count": 0, "mean": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(delays),
+        "mean": mean(delays),
+        "p99": percentile(delays, 99),
+        "max": max(delays),
+    }

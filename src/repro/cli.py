@@ -1,0 +1,216 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+::
+
+    python -m repro list
+    python -m repro run figure1
+    python -m repro run figure2b --duration 1000
+    python -m repro run all --seed 7
+
+Each experiment prints the same table/series the benchmark suite
+archives under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.harness import ExperimentResult
+
+# Lazy imports keep `python -m repro list` fast.
+_RUNNERS: Dict[str, str] = {
+    "table1": "Table 1: fairness of WFQ/FQS/SCFQ/DRR vs SFQ",
+    "example1": "Example 1: WFQ >= 2x the fairness lower bound",
+    "example2": "Example 2: WFQ unfair on a variable-rate server",
+    "figure1": "Figure 1(b): TCP fairness over a variable-rate server",
+    "figure2a": "Figure 2(a): max-delay delta, SFQ vs WFQ (analytic)",
+    "figure2b": "Figure 2(b): avg delay of low-throughput flows",
+    "figure3": "Figure 3(b): weighted shares on a fluctuating interface",
+    "throughput": "Theorems 2/3: throughput guarantees (FC/EBF)",
+    "delay": "Theorems 4/5 + eq. 56-57: delay guarantees",
+    "e2e": "Corollary 1: end-to-end delay over K hops",
+    "linkshare": "Example 3: hierarchical link sharing",
+    "shifting": "Delay shifting (eq. 69-73)",
+    "edd": "Theorem 7: Delay EDD on FC servers",
+    "fa": "Fair Airport (Theorems 8/9)",
+    "ebf": "Theorem 5: statistical delay tail on EBF servers",
+    "residual": "Section 2.3: priority residual is FC(C-rho, sigma)",
+    "vbr": "Section 2.3: generalized SFQ with per-packet rates",
+    "interop": "Section 2.4: heterogeneous schedulers interoperate",
+    "stress": "Theorem 1 under Pareto traffic + Gilbert-Elliott link",
+    "robust-figure1": "Robustness: Figure 1(b) across buffers and seeds",
+    "robust-figure2b": "Robustness: Figure 2(b) excess across seeds",
+    "complexity": "Complexity accounting: GPS work vs self-clocking",
+}
+
+
+def _load(name: str) -> Callable[..., ExperimentResult]:
+    if name == "table1":
+        from repro.experiments.table1 import run_table1
+
+        return run_table1
+    if name == "example1":
+        from repro.experiments.examples_1_2 import run_example1
+
+        return run_example1
+    if name == "example2":
+        from repro.experiments.examples_1_2 import run_example2
+
+        return run_example2
+    if name == "figure1":
+        from repro.experiments.figure1 import run_figure1
+
+        return run_figure1
+    if name == "figure2a":
+        from repro.experiments.figure2a import run_figure2a
+
+        return run_figure2a
+    if name == "figure2b":
+        from repro.experiments.figure2b import run_figure2b
+
+        return run_figure2b
+    if name == "figure3":
+        from repro.experiments.figure3 import run_figure3
+
+        return run_figure3
+    if name == "throughput":
+        from repro.experiments.throughput_bounds import run_throughput_bounds
+
+        return run_throughput_bounds
+    if name == "delay":
+        from repro.experiments.delay_bounds_exp import run_delay_bounds
+
+        return run_delay_bounds
+    if name == "e2e":
+        from repro.experiments.end_to_end_exp import run_end_to_end
+
+        return run_end_to_end
+    if name == "linkshare":
+        from repro.experiments.link_sharing_exp import run_link_sharing
+
+        return run_link_sharing
+    if name == "shifting":
+        from repro.experiments.delay_shifting import run_delay_shifting
+
+        return run_delay_shifting
+    if name == "edd":
+        from repro.experiments.delay_edd_exp import run_delay_edd
+
+        return run_delay_edd
+    if name == "fa":
+        from repro.experiments.fair_airport_exp import run_fair_airport
+
+        return run_fair_airport
+    if name == "ebf":
+        from repro.experiments.ebf_delay import run_ebf_delay
+
+        return run_ebf_delay
+    if name == "residual":
+        from repro.experiments.residual_exp import run_residual
+
+        return run_residual
+    if name == "vbr":
+        from repro.experiments.vbr_rates import run_vbr_rates
+
+        return run_vbr_rates
+    if name == "interop":
+        from repro.experiments.interop import run_interop
+
+        return run_interop
+    if name == "stress":
+        from repro.experiments.stress import run_stress
+
+        return run_stress
+    if name == "robust-figure1":
+        from repro.experiments.robustness import run_figure1_robustness
+
+        return run_figure1_robustness
+    if name == "robust-figure2b":
+        from repro.experiments.robustness import run_figure2b_robustness
+
+        return run_figure2b_robustness
+    if name == "complexity":
+        from repro.experiments.complexity import run_complexity
+
+        return run_complexity
+    raise KeyError(name)
+
+
+#: Experiments accepting each optional CLI knob.
+_ACCEPTS_SEED = {
+    "table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress",
+}
+_ACCEPTS_DURATION = {"figure1", "figure2b"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (list / run / report subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Start-time Fair Queuing (SIGCOMM '96) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(_RUNNERS) + ["all"])
+    run.add_argument("--seed", type=int, default=None, help="experiment seed")
+    run.add_argument(
+        "--duration", type=float, default=None, help="simulated horizon (s)"
+    )
+    report = sub.add_parser(
+        "report", help="run the full evaluation and write a Markdown report"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="report path (default REPORT.md)"
+    )
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument(
+        "--experiments", nargs="*", default=None,
+        help="subset of experiment names (default: all)",
+    )
+    return parser
+
+
+def run_experiment(
+    name: str, seed: Optional[int] = None, duration: Optional[float] = None
+) -> ExperimentResult:
+    """Run one experiment by CLI name and return its result."""
+    runner = _load(name)
+    kwargs = {}
+    if seed is not None and name in _ACCEPTS_SEED:
+        kwargs["seed"] = seed
+    if duration is not None and name in _ACCEPTS_DURATION:
+        kwargs["duration"] = duration
+    return runner(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(n) for n in _RUNNERS)
+        for name in sorted(_RUNNERS):
+            print(f"{name:<{width}}  {_RUNNERS[name]}")
+        return 0
+    if args.command == "report":
+        from repro.analysis.report import generate_report
+
+        _markdown, failures = generate_report(
+            path=args.output, experiments=args.experiments, seed=args.seed
+        )
+        print(f"report written to {args.output}")
+        for failure in failures:
+            print(f"FAILED: {failure}")
+        return 1 if failures else 0
+    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, seed=args.seed, duration=args.duration)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

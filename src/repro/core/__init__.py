@@ -1,0 +1,66 @@
+"""Packet schedulers: the paper's SFQ plus every algorithm it compares.
+
+The primary contribution is :class:`repro.core.sfq.SFQ`. Baselines:
+WFQ/PGPS, FQS, SCFQ, DRR, WRR, Virtual Clock, Delay EDD, FIFO, and the
+Fair Airport composite of Appendix B. :class:`HierarchicalScheduler`
+implements Section 3's link-sharing tree over any of them.
+"""
+
+from repro.core.base import Scheduler, SchedulerError, TieBreak
+from repro.core.delay_edd import DelayEDD
+from repro.core.drr import DRR, WRR
+from repro.core.fair_airport import FairAirport
+from repro.core.fifo import FIFO
+from repro.core.flow import EATTracker, FlowState
+from repro.core.gps import GPSVirtualClock
+from repro.core.hierarchical import HierarchicalScheduler, SchedClass
+from repro.core.jitter_edd import JitterEDD
+from repro.core.packet import Packet, bits, kbps, mbps
+from repro.core.scfq import SCFQ
+from repro.core.sfq import SFQ
+from repro.core.virtual_clock import VirtualClock
+from repro.core.wf2q import WF2Q
+from repro.core.wfq import FQS, WFQ
+
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "TieBreak",
+    "Packet",
+    "FlowState",
+    "EATTracker",
+    "GPSVirtualClock",
+    "SFQ",
+    "SCFQ",
+    "WFQ",
+    "FQS",
+    "WF2Q",
+    "DRR",
+    "WRR",
+    "FIFO",
+    "VirtualClock",
+    "DelayEDD",
+    "JitterEDD",
+    "FairAirport",
+    "HierarchicalScheduler",
+    "SchedClass",
+    "bits",
+    "kbps",
+    "mbps",
+]
+
+#: Registry of constructible disciplines for sweeps and CLIs.
+ALGORITHMS = {
+    "SFQ": SFQ,
+    "SCFQ": SCFQ,
+    "WFQ": WFQ,
+    "FQS": FQS,
+    "WF2Q": WF2Q,
+    "DRR": DRR,
+    "WRR": WRR,
+    "FIFO": FIFO,
+    "VirtualClock": VirtualClock,
+    "DelayEDD": DelayEDD,
+    "JitterEDD": JitterEDD,
+    "FairAirport": FairAirport,
+}

@@ -1,0 +1,77 @@
+"""Delay Earliest-Due-Date — Section 3, Theorem 7.
+
+Delay EDD assigns packet :math:`p_f^j` the deadline
+
+.. math:: D(p_f^j) = EAT(p_f^j, r_f) + d_f
+
+(eq. 66) and transmits packets in increasing deadline order. The paper
+uses it inside an SFQ hierarchy to *separate delay from throughput
+allocation*: Theorem 7 shows that on a Fluctuation Constrained server
+satisfying the schedulability condition (eq. 67), every packet departs by
+:math:`D(p) + l_{max}/C + \\delta(C)/C` — and the virtual server an SFQ
+hierarchy presents to a class *is* FC (eq. 65), so the bound survives
+hierarchical composition.
+
+The schedulability test (eq. 67) lives in
+:func:`repro.analysis.admission.delay_edd_schedulable`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.base import Scheduler, SchedulerError
+from repro.core.flow import FlowState
+from repro.core.packet import Packet
+
+
+class DelayEDD(Scheduler):
+    """Delay Earliest-Due-Date scheduler.
+
+    Flows must be registered with :meth:`add_flow_with_deadline` (each
+    flow has a deadline parameter :math:`d_f` in addition to its rate).
+    """
+
+    algorithm = "DelayEDD"
+
+    def __init__(self, auto_register: bool = False, default_weight: float = 1.0) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self.deadlines: Dict[Hashable, float] = {}
+        self._heap: List[Tuple] = []
+
+    def add_flow_with_deadline(
+        self, flow_id: Hashable, rate: float, deadline: float
+    ) -> FlowState:
+        """Register a flow with rate ``rate`` (bits/s) and per-packet
+        deadline offset ``deadline`` (seconds)."""
+        if deadline <= 0:
+            raise SchedulerError(f"deadline must be positive, got {deadline}")
+        state = self.add_flow(flow_id, rate)
+        self.deadlines[flow_id] = float(deadline)
+        return state
+
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        deadline_offset = self.deadlines.get(packet.flow)
+        if deadline_offset is None:
+            raise SchedulerError(
+                f"flow {packet.flow!r} has no deadline; use add_flow_with_deadline"
+            )
+        rate = state.packet_rate(packet)
+        eat = state.eat.on_arrival(now, packet.length, rate)
+        packet.deadline = eat + deadline_offset
+        packet.start_tag = eat
+        state.push(packet)
+        heapq.heappush(self._heap, (packet.deadline, packet.uid, packet))
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        _deadline, _uid, packet = heapq.heappop(self._heap)
+        state = self.flows[packet.flow]
+        popped = state.pop()
+        assert popped is packet, "per-flow FIFO must match deadline order"
+        return packet
+
+    def peek(self, now: float) -> Optional[Packet]:
+        return self._heap[0][2] if self._heap else None

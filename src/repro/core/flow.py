@@ -1,0 +1,121 @@
+"""Per-flow scheduler state.
+
+Every scheduler in the library keeps one :class:`FlowState` per flow: the
+flow's weight (interpreted as its rate :math:`r_f` in bits/s, Section
+2.2), the finish tag of the last *arrived* packet (for the tag chain of
+eq. 4), the FIFO backlog of queued packets, and service accounting used
+by the fairness analysis.
+
+The expected-arrival-time (EAT) tracker of eq. 37 also lives here since
+Virtual Clock, Delay EDD and the delay-bound analysis all need it:
+
+.. math::
+
+   EAT(p_f^j) = \\max\\{A(p_f^j),\\; EAT(p_f^{j-1}) + l_f^{j-1}/r_f^{j-1}\\}
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Hashable, Optional
+
+from repro.core.packet import Packet
+
+
+class EATTracker:
+    """Incremental expected-arrival-time computation (eq. 37)."""
+
+    __slots__ = ("_prev_eat", "_prev_service")
+
+    def __init__(self) -> None:
+        self._prev_eat = float("-inf")
+        self._prev_service = 0.0
+
+    def on_arrival(self, arrival: float, length: int, rate: float) -> float:
+        """Record packet arrival; return its EAT.
+
+        ``rate`` is the rate assigned to this packet (:math:`r_f^j`).
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        eat = max(arrival, self._prev_eat + self._prev_service)
+        self._prev_eat = eat
+        self._prev_service = length / rate
+        return eat
+
+    def reset(self) -> None:
+        self._prev_eat = float("-inf")
+        self._prev_service = 0.0
+
+
+class FlowState:
+    """State a scheduler keeps for one flow."""
+
+    __slots__ = (
+        "flow_id",
+        "weight",
+        "queue",
+        "last_finish",
+        "max_length_seen",
+        "bits_enqueued",
+        "bits_served",
+        "packets_served",
+        "eat",
+        "user",
+    )
+
+    def __init__(self, flow_id: Hashable, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError(f"flow weight must be positive, got {weight}")
+        self.flow_id = flow_id
+        self.weight = float(weight)
+        self.queue: Deque[Packet] = deque()
+        # Finish tag of the last arrived packet: F(p_f^0) = 0 per the paper.
+        self.last_finish = 0.0
+        self.max_length_seen = 0
+        self.bits_enqueued = 0
+        self.bits_served = 0
+        self.packets_served = 0
+        self.eat = EATTracker()
+        self.user: Optional[object] = None  # scheduler-specific scratch
+
+    # ------------------------------------------------------------------
+    # Queue operations
+    # ------------------------------------------------------------------
+    def push(self, packet: Packet) -> None:
+        self.queue.append(packet)
+        self.bits_enqueued += packet.length
+        if packet.length > self.max_length_seen:
+            self.max_length_seen = packet.length
+
+    def pop(self) -> Packet:
+        return self.queue.popleft()
+
+    def head(self) -> Optional[Packet]:
+        return self.queue[0] if self.queue else None
+
+    @property
+    def backlogged(self) -> bool:
+        return bool(self.queue)
+
+    @property
+    def backlog_bits(self) -> int:
+        return sum(p.length for p in self.queue)
+
+    @property
+    def backlog_packets(self) -> int:
+        return len(self.queue)
+
+    def packet_rate(self, packet: Packet) -> float:
+        """Rate assigned to ``packet``: its own rate or the flow weight."""
+        return packet.rate if packet.rate is not None else self.weight
+
+    def record_service(self, packet: Packet) -> None:
+        self.bits_served += packet.length
+        self.packets_served += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowState({self.flow_id!r}, w={self.weight:.9g}, "
+            f"backlog={len(self.queue)}p, F_prev={self.last_finish:.9g})"
+        )

@@ -1,0 +1,88 @@
+"""Self-Clocked Fair Queuing (SCFQ) — Golestani 1994; paper Section 1.2.
+
+SCFQ computes start/finish tags exactly like SFQ but (a) schedules
+packets in increasing order of **finish** tags, and (b) defines the
+system virtual time ``v(t)`` as the *finish* tag of the packet in
+service.
+
+Its fairness measure equals SFQ's,
+:math:`l_f^{max}/r_f + l_m^{max}/r_m`, but its maximum delay is larger by
+:math:`l_f^j/r_f^j - l_f^j/C` (paper eq. 56–57) — the property the
+delay-bound benchmarks quantify (24.4 ms for a 64 Kb/s flow with 200-byte
+packets on a 100 Mb/s link).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.base import Scheduler, TieBreak
+from repro.core.flow import FlowState
+from repro.core.packet import Packet
+
+
+class SCFQ(Scheduler):
+    """Self-Clocked Fair Queuing."""
+
+    algorithm = "SCFQ"
+
+    def __init__(
+        self,
+        tie_break: Callable[[FlowState, Packet], Tuple] = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+    ) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self._tie_break = tie_break
+        self._heap: List[Tuple] = []
+        self.v = 0.0
+        self._max_served_finish = 0.0
+        self._discarded: set = set()
+
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        rate = state.packet_rate(packet)
+        start = max(self.v, state.last_finish)
+        finish = start + packet.length / rate
+        packet.start_tag = start
+        packet.finish_tag = finish
+        state.last_finish = finish
+        state.push(packet)
+        key = self._tie_break(state, packet)
+        heapq.heappush(self._heap, (finish, key, packet.uid, packet))
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        while self._heap and self._heap[0][2] in self._discarded:
+            self._discarded.discard(heapq.heappop(self._heap)[2])
+        if not self._heap:
+            return None
+        finish, _key, _uid, packet = heapq.heappop(self._heap)
+        state = self.flows[packet.flow]
+        popped = state.pop()
+        assert popped is packet, "per-flow FIFO must match global tag order"
+        # Self-clocking: v(t) approximates GPS round number with the
+        # finish tag of the packet in service.
+        self.v = finish
+        if finish > self._max_served_finish:
+            self._max_served_finish = finish
+        return packet
+
+    def _do_service_complete(self, packet: Packet, now: float) -> None:
+        if self._backlog_packets == 0:
+            self.v = max(self.v, self._max_served_finish)
+
+    def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
+        packet = state.queue.pop()
+        self._discarded.add(packet.uid)
+        tail = state.queue[-1] if state.queue else None
+        state.last_finish = tail.finish_tag if tail is not None else packet.start_tag
+        return packet
+
+    def peek(self, now: float) -> Optional[Packet]:
+        while self._heap and self._heap[0][2] in self._discarded:
+            self._discarded.discard(heapq.heappop(self._heap)[2])
+        return self._heap[0][3] if self._heap else None
+
+    @property
+    def virtual_time(self) -> float:
+        return self.v

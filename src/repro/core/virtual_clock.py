@@ -1,0 +1,59 @@
+"""Virtual Clock — Zhang 1990; paper Sections 1.1 and Appendix B.
+
+Virtual Clock stamps packet :math:`p_f^j` with
+:math:`EAT(p_f^j, r_f) + l_f^j / r_f` (expected arrival time, eq. 37)
+and transmits packets in increasing stamp order. It provides the same
+delay guarantee as WFQ but is *unfair*: a flow that used idle bandwidth
+is punished later (its clock ran ahead), which is why the paper classes
+it with the real-time-but-unfair algorithms. It reappears as the
+Guaranteed Service Queue of the Fair Airport scheduler (Appendix B).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.base import Scheduler, TieBreak
+from repro.core.flow import FlowState
+from repro.core.packet import Packet
+
+
+class VirtualClock(Scheduler):
+    """Virtual Clock scheduler."""
+
+    algorithm = "VirtualClock"
+
+    def __init__(
+        self,
+        tie_break: Callable[[FlowState, Packet], Tuple] = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+    ) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self._tie_break = tie_break
+        self._heap: List[Tuple] = []
+
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        rate = state.packet_rate(packet)
+        eat = state.eat.on_arrival(now, packet.length, rate)
+        stamp = eat + packet.length / rate
+        packet.timestamp = stamp
+        # Keep tags populated for uniform trace analysis.
+        packet.start_tag = eat
+        packet.finish_tag = stamp
+        state.push(packet)
+        key = self._tie_break(state, packet)
+        heapq.heappush(self._heap, (stamp, key, packet.uid, packet))
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        _stamp, _key, _uid, packet = heapq.heappop(self._heap)
+        state = self.flows[packet.flow]
+        popped = state.pop()
+        assert popped is packet, "per-flow FIFO must match stamp order"
+        return packet
+
+    def peek(self, now: float) -> Optional[Packet]:
+        return self._heap[0][3] if self._heap else None

@@ -1,0 +1,100 @@
+"""WF²Q (Worst-case Fair Weighted Fair Queueing) — extension baseline.
+
+Bennett & Zhang's WF²Q (INFOCOM 1996, contemporaneous with the paper)
+fixes WFQ's burstiness by restricting the finish-tag scan to *eligible*
+packets — those whose fluid-GPS service has already started, i.e.
+:math:`S(p) \\le v(t)` — and serving the eligible packet with the
+smallest finish tag.
+
+It is included as an extension row in the fairness comparison: like WFQ
+it needs the fluid GPS simulation (expensive, and it inherits the
+assumed-capacity fragility of Example 2 on variable-rate servers), but
+its worst-case fairness on the *correct* constant-rate server is the
+best known. Comparing it against SFQ illustrates the paper's trade-off:
+SFQ gives up a little single-server delay tightness to gain
+self-clocking (no capacity assumption) at O(log Q).
+
+If no packet is eligible at a dequeue instant (possible because the
+real server can run ahead of the fluid system), the packet with the
+smallest start tag is served — the standard work-conserving fallback
+(this makes the discipline WF2Q-like rather than idling).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.base import Scheduler
+from repro.core.flow import FlowState
+from repro.core.gps import GPSVirtualClock
+from repro.core.packet import Packet
+
+
+class WF2Q(Scheduler):
+    """Worst-case Fair Weighted Fair Queueing (work-conserving variant)."""
+
+    algorithm = "WF2Q"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+    ) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self.gps = GPSVirtualClock(assumed_capacity)
+        # Heap of (finish, uid, packet) — scanned for eligibility.
+        self._heap: List[Tuple[float, int, Packet]] = []
+
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        v = self.gps.advance(now)
+        rate = state.packet_rate(packet)
+        start = max(v, state.last_finish)
+        finish = start + packet.length / rate
+        packet.start_tag = start
+        packet.finish_tag = finish
+        state.last_finish = finish
+        state.push(packet)
+        self.gps.on_arrival(packet.flow, state.weight, finish)
+        heapq.heappush(self._heap, (finish, packet.uid, packet))
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        v = self.gps.advance(now)
+        # Pop ineligible heads aside until an eligible packet surfaces.
+        shelved: List[Tuple[float, int, Packet]] = []
+        chosen: Optional[Packet] = None
+        while self._heap:
+            finish, uid, packet = heapq.heappop(self._heap)
+            if packet.start_tag is not None and packet.start_tag <= v + 1e-12:
+                chosen = packet
+                break
+            shelved.append((finish, uid, packet))
+        for entry in shelved:
+            heapq.heappush(self._heap, entry)
+        if chosen is None:
+            # Work-conserving fallback: smallest start tag.
+            chosen = min(
+                (entry[2] for entry in self._heap), key=lambda p: p.start_tag
+            )
+            self._heap = [e for e in self._heap if e[2] is not chosen]
+            heapq.heapify(self._heap)
+        state = self.flows[chosen.flow]
+        popped = state.pop()
+        assert popped is chosen, "per-flow FIFO must match tag order"
+        return chosen
+
+    def peek(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        v = self.gps.advance(now)
+        eligible = [p for _f, _u, p in self._heap if p.start_tag <= v + 1e-12]
+        if eligible:
+            return min(eligible, key=lambda p: (p.finish_tag, p.uid))
+        return min((p for _f, _u, p in self._heap), key=lambda p: p.start_tag)
+
+    @property
+    def virtual_time(self) -> float:
+        return self.gps.v

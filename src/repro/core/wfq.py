@@ -1,0 +1,107 @@
+"""Weighted Fair Queuing (WFQ / PGPS) — Demers et al. 1989, Parekh 1992.
+
+WFQ emulates fluid GPS: every packet gets a start tag
+:math:`S(p) = \\max\\{v(A(p)), F(p_{prev})\\}` and finish tag
+:math:`F(p) = S(p) + l/r` (paper eq. 1–2) where ``v(t)`` is the fluid
+GPS round number (eq. 3), and packets are transmitted in increasing
+order of **finish** tags.
+
+The paper's critique, reproduced by our benchmarks:
+
+* its fairness measure is at least :math:`l_f^{max}/r_f + l_m^{max}/r_m`
+  — a factor of two off the lower bound (Example 1);
+* it requires the real-time fluid simulation (expensive); and
+* it is built on an assumed constant capacity, so it is unfair on
+  variable-rate servers (Example 2, Figure 1(b)).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.base import Scheduler, TieBreak
+from repro.core.flow import FlowState
+from repro.core.gps import GPSVirtualClock
+from repro.core.packet import Packet
+
+
+class WFQ(Scheduler):
+    """Weighted Fair Queuing (packet-by-packet GPS).
+
+    Parameters
+    ----------
+    assumed_capacity:
+        The link capacity (bits/s) used to simulate the fluid GPS system.
+        WFQ has no way to learn the *actual* capacity; feeding it a value
+        that differs from reality reproduces Example 2's unfairness.
+    """
+
+    algorithm = "WFQ"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        tie_break: Callable[[FlowState, Packet], Tuple] = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+    ) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self.gps = GPSVirtualClock(assumed_capacity)
+        self._tie_break = tie_break
+        self._heap: List[Tuple] = []
+
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        v = self.gps.advance(now)
+        rate = state.packet_rate(packet)
+        start = max(v, state.last_finish)
+        finish = start + packet.length / rate
+        packet.start_tag = start
+        packet.finish_tag = finish
+        state.last_finish = finish
+        state.push(packet)
+        self.gps.on_arrival(packet.flow, state.weight, finish)
+        key = self._tie_break(state, packet)
+        heapq.heappush(self._heap, (finish, key, packet.uid, packet))
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        if not self._heap:
+            return None
+        _finish, _key, _uid, packet = heapq.heappop(self._heap)
+        state = self.flows[packet.flow]
+        popped = state.pop()
+        assert popped is packet, "per-flow FIFO must match global tag order"
+        return packet
+
+    def peek(self, now: float) -> Optional[Packet]:
+        return self._heap[0][3] if self._heap else None
+
+    @property
+    def virtual_time(self) -> float:
+        """Fluid GPS virtual time at the last advance."""
+        return self.gps.v
+
+
+class FQS(WFQ):
+    """Fair Queuing based on Start-time (Greenberg & Madras 1992).
+
+    Identical tag computation to WFQ (fluid GPS ``v(t)``), but packets
+    are scheduled in increasing order of **start** tags. The paper notes
+    FQS shares all of WFQ's disadvantages (GPS cost, unfairness on
+    variable-rate servers) with no delay advantage over SFQ.
+    """
+
+    algorithm = "FQS"
+
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        v = self.gps.advance(now)
+        rate = state.packet_rate(packet)
+        start = max(v, state.last_finish)
+        finish = start + packet.length / rate
+        packet.start_tag = start
+        packet.finish_tag = finish
+        state.last_finish = finish
+        state.push(packet)
+        self.gps.on_arrival(packet.flow, state.weight, finish)
+        key = self._tie_break(state, packet)
+        heapq.heappush(self._heap, (start, key, packet.uid, packet))

@@ -1,0 +1,22 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+| Module | Paper artifact |
+|---|---|
+| ``table1`` | Table 1 (fairness of WFQ/FQS/SCFQ/DRR vs SFQ) |
+| ``examples_1_2`` | Examples 1 and 2 (WFQ's weaknesses) |
+| ``figure1`` | Figure 1(b): TCP fairness over a variable-rate server |
+| ``figure2a`` | Figure 2(a): max-delay delta, WFQ vs SFQ |
+| ``figure2b`` | Figure 2(b): average delay, WFQ vs SFQ |
+| ``figure3`` | Figure 3(b): weighted shares on a fluctuating interface |
+| ``throughput_bounds`` | Theorems 2-3 |
+| ``delay_bounds_exp`` | Theorems 4-5, eq. 56-57 |
+| ``end_to_end_exp`` | Theorem 6 / Corollary 1 |
+| ``link_sharing_exp`` | Section 3, Example 3 + recursive bounds |
+| ``delay_shifting`` | Section 3, eq. 69-73 |
+| ``delay_edd_exp`` | Theorem 7 (separation of delay and throughput) |
+| ``fair_airport_exp`` | Appendix B, Theorems 8-9 |
+"""
+
+from repro.experiments.harness import ExperimentResult, comparison_row, geometric_sweep
+
+__all__ = ["ExperimentResult", "comparison_row", "geometric_sweep"]

@@ -1,0 +1,91 @@
+"""ASCII chart rendering for figure regeneration.
+
+The paper's figures are line plots (sequence-number vs time, delay vs
+utilization, throughput vs time). The benchmarks archive textual tables
+plus these ASCII charts so `results/` genuinely *regenerates the
+figures*, not just their headline numbers, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Glyphs assigned to series in order.
+GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 68,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line chart.
+
+    Points are binned onto a width x height grid spanning the data's
+    bounding box; later series overwrite earlier ones where they
+    collide. Returns a multi-line string with axis annotations and a
+    legend.
+    """
+    named = [(name, [p for p in pts if p is not None]) for name, pts in series.items()]
+    named = [(name, pts) for name, pts in named if pts]
+    if not named:
+        return f"{title}\n(no data)"
+    xs = [x for _n, pts in named for x, _y in pts]
+    ys = [y for _n, pts in named for _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(named):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines.append(f"{y_label:>{margin}}")
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = f"{top_label:>{margin}}"
+        elif i == height - 1:
+            prefix = f"{bottom_label:>{margin}}"
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row_chars)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.4g}"
+    x_end = f"{x_hi:.4g}"
+    pad = width - len(x_axis) - len(x_end)
+    lines.append(
+        " " * (margin + 1) + x_axis + " " * max(pad, 1) + x_end + f"  ({x_label})"
+    )
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} = {name}" for i, (name, _p) in enumerate(named)
+    )
+    lines.append(f"{'':>{margin}} {legend}")
+    return "\n".join(lines)
+
+
+def downsample(points: Sequence[Point], max_points: int = 120) -> List[Point]:
+    """Evenly subsample a long series for charting."""
+    pts = list(points)
+    if len(pts) <= max_points:
+        return pts
+    stride = len(pts) / max_points
+    return [pts[int(i * stride)] for i in range(max_points)] + [pts[-1]]

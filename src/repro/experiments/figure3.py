@@ -1,0 +1,130 @@
+"""Figure 3(b): weighted sharing on a variable-rate network interface.
+
+The paper's Section 4 validates its Solaris/FORE-ATM implementation:
+three connections with weights 1, 2, 3 each transmit 500,000 4 KB
+packets; while all are active throughput splits 1:2:3, after the
+weight-3 connection finishes the rest split 1:2, and the survivor
+finally gets the full link — all while the realizable interface
+bandwidth fluctuates (the host CPU shares cycles).
+
+Substitution (DESIGN.md §3): the FORE NIC is replaced by a simulated
+link whose capacity process fluctuates (certified FC); connections are
+closed-loop greedy sources. Packet counts are scaled down (the shape is
+invariant); the bench asserts the three throughput-ratio phases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.stats import windowed_throughput
+from repro.core import SFQ, Packet
+from repro.core.packet import mbps
+from repro.experiments.harness import ExperimentResult
+from repro.servers import FluctuationConstrainedCapacity, Link
+from repro.simulation import RandomStreams, Simulator
+from repro.traffic import PacedWindowSource
+
+LINK_RATE = mbps(48)  # the paper's measured interface throughput
+PACKET = 4096 * 8  # 4 KB packets
+
+
+def run_figure3(
+    packets_per_connection: int = 3000,
+    seed: int = 3,
+    window: float = 0.25,
+) -> ExperimentResult:
+    """Three weighted greedy connections on a fluctuating link."""
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    sched = SFQ(auto_register=False)
+    weights = {"w1": 1.0, "w2": 2.0, "w3": 3.0}
+    for flow, weight in weights.items():
+        sched.add_flow(flow, weight)
+
+    capacity = FluctuationConstrainedCapacity(
+        guarantee_rate=LINK_RATE * 0.8,
+        delta=LINK_RATE * 0.05,  # ~60 ms worth of work
+        slot=0.01,
+        rng=streams.stream("capacity"),
+    )
+    link = Link(sim, sched, capacity, name="fig3")
+
+    sources = {}
+    for flow in weights:
+        source = PacedWindowSource(
+            sim,
+            flow,
+            link.send,
+            packet_length=PACKET,
+            window=32,
+            max_packets=packets_per_connection,
+        )
+        link.departure_hooks.append(source.on_departure)
+        sources[flow] = source
+        source.start()
+    end = sim.run()
+
+    # Completion times define the three phases.
+    finish: Dict[str, float] = {}
+    for flow in weights:
+        records = link.tracer.departed(flow)
+        finish[flow] = records[-1].departure if records else 0.0
+    order = sorted(finish, key=finish.get)
+    t_first, t_second = finish[order[0]], finish[order[1]]
+
+    def phase_share(t1: float, t2: float) -> Dict[str, float]:
+        total = {
+            flow: link.tracer.work_in_interval(flow, t1, t2) for flow in weights
+        }
+        return total
+
+    phase1 = phase_share(0.0, t_first)
+    phase2 = phase_share(t_first, t_second)
+    phase3 = phase_share(t_second, end)
+
+    result = ExperimentResult(
+        experiment="Figure 3(b)",
+        description=(
+            "Throughput sharing of connections with weights 1:2:3 on a "
+            "fluctuating-capacity interface, as connections terminate."
+        ),
+        headers=["phase", "w1 Mb/s", "w2 Mb/s", "w3 Mb/s", "ratio"],
+    )
+    for name, (t1, t2), share in (
+        ("all active", (0.0, t_first), phase1),
+        ("two active", (t_first, t_second), phase2),
+        ("one active", (t_second, end), phase3),
+    ):
+        span = max(t2 - t1, 1e-9)
+        rates = {f: share[f] / span / 1e6 for f in weights}
+        base = min((r for r in rates.values() if r > 0.01), default=1.0)
+        ratio = ":".join(f"{rates[f] / base:.2f}" for f in ("w1", "w2", "w3"))
+        result.add_row(name, rates["w1"], rates["w2"], rates["w3"], ratio)
+    result.note("paper: ratios 1:2:3, then 1:2, then the full link")
+    series = {
+        flow: windowed_throughput(link.tracer, flow, window, end)
+        for flow in weights
+    }
+    result.data.update(
+        finish=finish,
+        phases={"p1": phase1, "p2": phase2, "p3": phase3},
+        phase_bounds=(t_first, t_second, end),
+        series=series,
+    )
+
+    from repro.experiments.charts import ascii_chart
+
+    result.data["charts"] = [
+        ascii_chart(
+            {
+                flow: [(t, rate / 1e6) for t, rate in pts]
+                for flow, pts in series.items()
+            },
+            title="Figure 3(b): per-connection throughput vs time",
+            x_label="time (s)",
+            y_label="Mb/s",
+            height=12,
+        )
+    ]
+    return result

@@ -1,0 +1,86 @@
+"""Experiment harness: result containers and ASCII table rendering.
+
+Every experiment module exposes a ``run_*`` function returning a
+:class:`ExperimentResult`; the benchmark suite calls it, asserts the
+paper's qualitative claims, and prints the table/series so that
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+evaluation outputs. EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's rendered output plus machine-readable data."""
+
+    experiment: str
+    description: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """ASCII rendering: title, table, notes."""
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.experiment} ==", self.description, ""]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def comparison_row(
+    label: str, paper_value: Optional[float], measured: float, unit: str = ""
+) -> List[Any]:
+    """A (label, paper, measured, ratio) row for EXPERIMENTS.md tables."""
+    if paper_value in (None, 0):
+        ratio = ""
+    else:
+        ratio = f"{measured / paper_value:.3f}"
+    paper_cell = "" if paper_value is None else _fmt(paper_value) + unit
+    return [label, paper_cell, _fmt(measured) + unit, ratio]
+
+
+def geometric_sweep(start: float, stop: float, n: int) -> List[float]:
+    """n geometrically spaced points from start to stop inclusive."""
+    if n < 2:
+        return [start]
+    ratio = (stop / start) ** (1 / (n - 1))
+    return [start * ratio**i for i in range(n)]

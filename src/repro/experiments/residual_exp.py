@@ -1,0 +1,177 @@
+"""Section 2.3's residual-server analysis.
+
+"If the bandwidth requirement of flows that are given higher priority
+can be characterized by a leaky bucket with average rate ρ and
+burstiness σ ... the residual bandwidth available to the lower priority
+flows can be modeled as fluctuation constrained with parameters
+(C − ρ, σ). Hence, Theorem 4 can be used to determine the delay
+guarantee of the lower priority flows."
+
+The experiment does exactly that, twice:
+
+1. **analytically** — builds the explicit residual capacity profile
+   from a shaped high-priority demand trace
+   (:func:`repro.servers.residual.residual_from_demand`) and measures
+   its FC burstiness: it must be ≤ σ w.r.t. rate C − ρ;
+
+2. **in vivo** — runs a strict-priority link (shaped high-priority flow
+   above an SFQ band) and checks every low-priority packet against the
+   Theorem 4 bound computed from the (C − ρ, σ) model, with the
+   high-priority packet's non-preemption term.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.delay_bounds import expected_arrival_times, sfq_delay_bound
+from repro.analysis.servers import measure_fc_delta
+from repro.core import FIFO, SFQ, Packet
+from repro.core.priority import PriorityBands
+from repro.experiments.harness import ExperimentResult
+from repro.servers import ConstantCapacity, Link, residual_from_demand
+from repro.simulation import Simulator
+from repro.traffic import LeakyBucketShaper, OnOffSource
+
+LINK = 10_000.0  # bits/s
+HP_SIGMA = 2_000.0  # bits
+HP_RHO = 4_000.0  # bits/s
+LOW_FLOWS: Sequence[Tuple[str, float, int, int]] = (
+    ("lo1", 2000.0, 400, 4),
+    ("lo2", 3000.0, 600, 5),
+)
+HORIZON = 40.0
+
+
+def _shaped_hp_trace(seed: int, horizon: float) -> List[Tuple[float, int]]:
+    """A shaped (sigma, rho) high-priority arrival trace, offline."""
+    sim = Simulator()
+    out: List[Tuple[float, int]] = []
+    shaper = LeakyBucketShaper(
+        sim, lambda p: out.append((sim.now, p.length)), HP_SIGMA, HP_RHO
+    )
+    source = OnOffSource(
+        sim,
+        "hp",
+        shaper.send,
+        peak_rate=3 * HP_RHO,
+        packet_length=400,
+        mean_on=0.4,
+        mean_off=0.4,
+        rng=random.Random(seed),
+        stop_time=horizon,
+    )
+    source.start()
+    sim.run(until=horizon * 1.5)
+    return out
+
+
+def residual_profile_is_fc(seed: int = 31) -> Tuple[float, float]:
+    """(measured delta of residual vs C - rho, the sigma claim)."""
+    demand = _shaped_hp_trace(seed, HORIZON)
+    residual = residual_from_demand(LINK, demand, slot=0.01, horizon=HORIZON)
+    measured = measure_fc_delta(residual, LINK - HP_RHO, horizon=HORIZON, step=0.01)
+    return measured, HP_SIGMA
+
+
+def run_priority_link(seed: int = 31) -> Link:
+    """Strict-priority link: shaped HP flow above an SFQ low band."""
+    sim = Simulator()
+    low = SFQ(auto_register=False)
+    bands = PriorityBands([FIFO(auto_register=False), low])
+    bands.assign_flow("hp", 0, weight=HP_RHO)
+    for flow, rate, _l, _b in LOW_FLOWS:
+        bands.assign_flow(flow, 1, weight=rate)
+    link = Link(sim, bands, ConstantCapacity(LINK))
+
+    shaper = LeakyBucketShaper(sim, link.send, HP_SIGMA, HP_RHO)
+    OnOffSource(
+        sim,
+        "hp",
+        shaper.send,
+        peak_rate=3 * HP_RHO,
+        packet_length=400,
+        mean_on=0.4,
+        mean_off=0.4,
+        rng=random.Random(seed),
+        stop_time=HORIZON,
+    ).start()
+
+    for flow, rate, length, burst in LOW_FLOWS:
+        gap = burst * length / rate
+        t = 0.0
+        seq = 0
+        while t < HORIZON:
+            for _ in range(burst):
+                sim.at(
+                    t,
+                    lambda fl, lb, s: link.send(Packet(fl, lb, seqno=s)),
+                    flow,
+                    length,
+                    seq,
+                )
+                seq += 1
+            t += gap
+    sim.run(until=HORIZON * 1.5)
+    return link
+
+
+def run_residual(seed: int = 31) -> ExperimentResult:
+    """Both halves of the Section 2.3 claim."""
+    measured_delta, sigma = residual_profile_is_fc(seed)
+
+    link = run_priority_link(seed)
+    residual_rate = LINK - HP_RHO
+    lmax_low = {f: l for f, _r, l, _b in LOW_FLOWS}
+    hp_lmax = 400
+    worst: Dict[str, float] = {}
+    max_delay: Dict[str, float] = {}
+    for flow, rate, length, _burst in LOW_FLOWS:
+        records = sorted(link.tracer.departed(flow), key=lambda r: r.seqno)
+        eats = expected_arrival_times(
+            [r.arrival for r in records],
+            [r.length for r in records],
+            [rate] * len(records),
+        )
+        sum_lmax_others = sum(l for f2, l in lmax_low.items() if f2 != flow)
+        slack = float("inf")
+        worst_delay = 0.0
+        for record, eat in zip(records, eats):
+            # Theorem 4 on FC(C - rho, sigma), plus one non-preemptable
+            # high-priority packet.
+            bound = sfq_delay_bound(
+                eat, sum_lmax_others, record.length, residual_rate, sigma
+            ) + hp_lmax / LINK
+            slack = min(slack, bound - record.departure)
+            worst_delay = max(worst_delay, record.departure - eat)
+        worst[flow] = slack
+        max_delay[flow] = worst_delay
+
+    result = ExperimentResult(
+        experiment="Residual server (Section 2.3)",
+        description=(
+            f"High-priority traffic shaped to (sigma={HP_SIGMA:.0f}b, "
+            f"rho={HP_RHO:.0f}b/s) on a {LINK:.0f} b/s link; the residual "
+            f"must be FC(C-rho, sigma) and Theorem 4 must hold for the "
+            "low-priority SFQ band."
+        ),
+        headers=["check", "value", "requirement"],
+    )
+    result.add_row(
+        "residual profile delta vs C-rho (bits)", measured_delta, f"<= sigma = {sigma:.0f}"
+    )
+    for flow, rate, _l, _b in LOW_FLOWS:
+        result.add_row(
+            f"Theorem 4 worst slack, {flow} (s)", worst[flow], ">= 0"
+        )
+        result.add_row(
+            f"max EAT-relative delay, {flow} (s)", max_delay[flow], "informational"
+        )
+    result.data.update(
+        residual_delta=measured_delta,
+        sigma=sigma,
+        worst_slack=worst,
+        max_delay=max_delay,
+    )
+    return result

@@ -1,0 +1,164 @@
+"""Multi-switch topologies with shortest-path routing (networkx).
+
+The paper's experiments use single-switch and tandem shapes, but an
+adoptable library needs general topologies. :class:`RoutedNetwork`
+builds an arbitrary switch graph, computes per-flow shortest paths
+(hop count or additive link weights) with networkx, installs routes on
+every switch, and forwards packets hop by hop with per-link propagation
+delays. All per-hop queueing uses the same Link/Scheduler machinery as
+the rest of the library, so any discipline — including hierarchical
+SFQ — can run on any edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.base import Scheduler
+from repro.core.packet import Packet
+from repro.servers.base import CapacityProcess
+from repro.servers.link import Link
+from repro.simulation.engine import Simulator
+from repro.transport.sink import PacketSink
+
+SchedulerFactory = Callable[[], Scheduler]
+CapacityFactory = Callable[[], CapacityProcess]
+
+
+class RoutedNetwork:
+    """A graph of switches; flows routed along shortest paths."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler_factory: SchedulerFactory,
+        capacity_factory: CapacityFactory,
+    ) -> None:
+        self.sim = sim
+        self.graph = nx.DiGraph()
+        self._scheduler_factory = scheduler_factory
+        self._capacity_factory = capacity_factory
+        #: (src, dst) node pair -> the Link carrying that edge.
+        self.links: Dict[Tuple[str, str], Link] = {}
+        #: flow id -> list of nodes on its path.
+        self.flow_paths: Dict[Hashable, List[str]] = {}
+        #: flow id -> (weight, per-hop registration done)
+        self._flow_weights: Dict[Hashable, float] = {}
+        self.sink = PacketSink("net-sink")
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        self.graph.add_node(name)
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        propagation_delay: float = 0.0,
+        weight: float = 1.0,
+        scheduler: Optional[Scheduler] = None,
+        capacity: Optional[CapacityProcess] = None,
+        bidirectional: bool = True,
+    ) -> None:
+        """Add a link (both directions by default)."""
+        pairs = [(src, dst)] + ([(dst, src)] if bidirectional else [])
+        for a, b in pairs:
+            if (a, b) in self.links:
+                raise ValueError(f"edge {a}->{b} already exists")
+            link = Link(
+                self.sim,
+                scheduler if scheduler is not None and (a, b) == (src, dst)
+                else self._scheduler_factory(),
+                capacity if capacity is not None and (a, b) == (src, dst)
+                else self._capacity_factory(),
+                name=f"{a}->{b}",
+            )
+            self.graph.add_edge(a, b, weight=weight, delay=propagation_delay)
+            self.links[(a, b)] = link
+            link.departure_hooks.append(self._forwarder(a, b, propagation_delay))
+
+    # ------------------------------------------------------------------
+    # Flows and routing
+    # ------------------------------------------------------------------
+    def add_flow(
+        self, flow_id: Hashable, src: str, dst: str, weight: float = 1.0
+    ) -> List[str]:
+        """Route ``flow_id`` from src to dst; registers it on every hop."""
+        if flow_id in self.flow_paths:
+            raise ValueError(f"flow {flow_id!r} already routed")
+        path = nx.shortest_path(self.graph, src, dst, weight="weight")
+        self.flow_paths[flow_id] = path
+        self._flow_weights[flow_id] = weight
+        for a, b in zip(path, path[1:]):
+            scheduler = self.links[(a, b)].scheduler
+            if flow_id not in scheduler.flows:
+                scheduler.add_flow(flow_id, weight)
+        return path
+
+    def inject(self, packet: Packet) -> None:
+        """Send a packet from its flow's source node."""
+        path = self.flow_paths.get(packet.flow)
+        if path is None:
+            raise ValueError(f"flow {packet.flow!r} has no route")
+        if len(path) < 2:
+            self.sink.on_packet(packet, self.sim.now)
+            return
+        packet.meta["path_index"] = 0
+        self.links[(path[0], path[1])].send(packet)
+
+    def ingress(self, flow_id: Hashable) -> Callable[[Packet], None]:
+        """An ingress callable for sources bound to one flow.
+
+        The returned callable refuses packets of any other flow — a
+        mis-wired source fails loudly instead of silently taking a
+        different route.
+        """
+
+        def send(packet: Packet) -> None:
+            if packet.flow != flow_id:
+                raise ValueError(
+                    f"ingress bound to {flow_id!r} got a packet of "
+                    f"{packet.flow!r}"
+                )
+            self.inject(packet)
+
+        return send
+
+    def _forwarder(self, a: str, b: str, delay: float):
+        def forward(packet: Packet, now: float) -> None:
+            path = self.flow_paths.get(packet.flow)
+            if path is None:
+                return
+            idx = packet.meta.get("path_index", 0)
+            if idx + 2 >= len(path):
+                # b is the destination.
+                self.sim.after(delay, self.sink.on_packet, packet, now + delay)
+                return
+            nxt = path[idx + 2]
+            clone = packet.fork()
+            clone.meta["path_index"] = idx + 1
+            next_link = self.links[(path[idx + 1], nxt)]
+            self.sim.after(delay, self._inject_at, next_link, clone)
+
+        return forward
+
+    def _inject_at(self, link: Link, packet: Packet) -> None:
+        packet.arrival = self.sim.now
+        link.send(packet)
+
+    # ------------------------------------------------------------------
+    def path_propagation_delay(self, flow_id: Hashable) -> float:
+        path = self.flow_paths[flow_id]
+        return sum(
+            self.graph.edges[a, b]["delay"] for a, b in zip(path, path[1:])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutedNetwork(nodes={self.graph.number_of_nodes()}, "
+            f"edges={self.graph.number_of_edges()}, flows={len(self.flow_paths)})"
+        )

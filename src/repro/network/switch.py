@@ -1,0 +1,54 @@
+"""Output-queued switch.
+
+A :class:`Switch` classifies incoming packets by flow id and forwards
+each to the :class:`repro.servers.link.Link` of its output port. All
+queueing happens at the output links (output-queued model), which is
+the model the paper's single-switch simulations use (Figure 1(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.core.packet import Packet
+from repro.servers.link import Link
+from repro.simulation.engine import Simulator
+
+
+class RoutingError(Exception):
+    """Raised when a packet has no route."""
+
+
+class Switch:
+    """A switch with named output ports, each backed by a Link."""
+
+    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: Dict[str, Link] = {}
+        self._routes: Dict[Hashable, str] = {}
+        self.packets_forwarded = 0
+
+    def add_port(self, port_name: str, link: Link) -> Link:
+        if port_name in self.ports:
+            raise RoutingError(f"port {port_name!r} already exists on {self.name}")
+        self.ports[port_name] = link
+        return link
+
+    def add_route(self, flow_id: Hashable, port_name: str) -> None:
+        if port_name not in self.ports:
+            raise RoutingError(f"no port {port_name!r} on {self.name}")
+        self._routes[flow_id] = port_name
+
+    def receive(self, packet: Packet) -> None:
+        """Ingress: forward the packet to its output port's link."""
+        port_name = self._routes.get(packet.flow)
+        if port_name is None:
+            raise RoutingError(
+                f"{self.name}: no route for flow {packet.flow!r}"
+            )
+        self.packets_forwarded += 1
+        self.ports[port_name].send(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name}, ports={sorted(self.ports)})"

@@ -1,0 +1,97 @@
+"""Network container: named switches, links and sinks on one simulator.
+
+A light registry that keeps the pieces of a topology together and
+offers the Figure 1(a) builder used by examples and benchmarks: N
+sources feeding one switch whose single output link runs a configurable
+scheduler (optionally behind strict priority bands).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.core.base import Scheduler
+from repro.servers.base import CapacityProcess
+from repro.servers.link import Link
+from repro.simulation.engine import Simulator
+from repro.network.switch import Switch
+from repro.transport.sink import PacketSink
+
+
+class Network:
+    """Registry of simulation components forming one topology."""
+
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.switches: Dict[str, Switch] = {}
+        self.links: Dict[str, Link] = {}
+        self.sinks: Dict[str, PacketSink] = {}
+
+    def add_switch(self, name: str) -> Switch:
+        if name in self.switches:
+            raise ValueError(f"switch {name!r} already exists")
+        switch = Switch(self.sim, name)
+        self.switches[name] = switch
+        return switch
+
+    def add_link(
+        self,
+        name: str,
+        scheduler: Scheduler,
+        capacity: CapacityProcess,
+        buffer_packets: Optional[int] = None,
+        buffer_bits: Optional[int] = None,
+    ) -> Link:
+        if name in self.links:
+            raise ValueError(f"link {name!r} already exists")
+        link = Link(
+            self.sim,
+            scheduler,
+            capacity,
+            name=name,
+            buffer_packets=buffer_packets,
+            buffer_bits=buffer_bits,
+        )
+        self.links[name] = link
+        return link
+
+    def add_sink(self, name: str) -> PacketSink:
+        if name in self.sinks:
+            raise ValueError(f"sink {name!r} already exists")
+        sink = PacketSink(name)
+        self.sinks[name] = sink
+        return sink
+
+    def connect(self, link_name: str, sink_name: str) -> None:
+        """Deliver packets departing ``link_name`` to ``sink_name``."""
+        self.links[link_name].departure_hooks.append(
+            self.sinks[sink_name].on_packet
+        )
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+
+def single_switch_topology(
+    scheduler: Scheduler,
+    capacity: CapacityProcess,
+    flow_ids,
+    buffer_packets: Optional[int] = None,
+    sim: Optional[Simulator] = None,
+) -> Network:
+    """The paper's Figure 1(a) shape: sources -> switch -> one output link.
+
+    Returns a :class:`Network` with switch ``"sw"``, link ``"out"`` and
+    sink ``"dst"`` wired together, with a route installed for every flow
+    in ``flow_ids``. Sources should send into
+    ``net.switches["sw"].receive``.
+    """
+    net = Network(sim)
+    switch = net.add_switch("sw")
+    link = net.add_link("out", scheduler, capacity, buffer_packets=buffer_packets)
+    switch.add_port("down", link)
+    sink = net.add_sink("dst")
+    net.connect("out", "dst")
+    for flow_id in flow_ids:
+        switch.add_route(flow_id, "down")
+    return net

@@ -1,0 +1,218 @@
+"""Capacity processes: how fast the server can transmit, over time.
+
+The paper analyzes SFQ on servers whose service rate fluctuates —
+flow-controlled links, broadcast media, CPU-constrained routers, or the
+residual capacity left to low-priority traffic. A
+:class:`CapacityProcess` models the instantaneous transmission rate as a
+piecewise-constant function of absolute time and answers two questions:
+
+* ``work(t1, t2)`` — bits the server could transmit in ``[t1, t2]``;
+* ``finish_time(start, length)`` — when a packet of ``length`` bits
+  beginning transmission at ``start`` completes.
+
+Profiles are generated lazily (some are infinite random processes), and
+queried monotonically by the :class:`repro.servers.link.Link`, so a
+moving cursor keeps queries amortized O(1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional, Tuple
+
+
+class CapacityError(Exception):
+    """Raised when a capacity process cannot answer (e.g. stalled forever)."""
+
+
+class CapacityProcess(ABC):
+    """Piecewise-constant instantaneous transmission rate r(t) >= 0."""
+
+    #: Nominal average rate in bits/s; used by analytical bounds.
+    average_rate: float
+
+    @abstractmethod
+    def rate_at(self, t: float) -> float:
+        """Instantaneous rate at time ``t`` (bits/s)."""
+
+    @abstractmethod
+    def work(self, t1: float, t2: float) -> float:
+        """Bits of work the server performs in ``[t1, t2]`` when busy."""
+
+    @abstractmethod
+    def finish_time(self, start: float, length: float) -> float:
+        """Completion time of ``length`` bits starting at ``start``."""
+
+
+class ConstantCapacity(CapacityProcess):
+    """Constant-rate server: FC with :math:`\\delta(C) = 0`."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise CapacityError(f"rate must be positive, got {rate}")
+        self.average_rate = float(rate)
+
+    def rate_at(self, t: float) -> float:
+        return self.average_rate
+
+    def work(self, t1: float, t2: float) -> float:
+        if t2 < t1:
+            raise CapacityError(f"bad interval [{t1}, {t2}]")
+        return self.average_rate * (t2 - t1)
+
+    def finish_time(self, start: float, length: float) -> float:
+        return start + length / self.average_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConstantCapacity({self.average_rate:.9g} b/s)"
+
+
+class PiecewiseCapacity(CapacityProcess):
+    """Capacity from a (possibly infinite) stream of rate breakpoints.
+
+    Subclasses (or callers) supply an iterator of ``(time, rate)`` pairs
+    with strictly increasing times, the first at ``t = 0``. The last rate
+    of a *finite* stream holds forever.
+    """
+
+    # How far past the requested horizon to pre-generate, to amortize.
+    _CHUNK = 64
+
+    def __init__(
+        self,
+        segments: Iterator[Tuple[float, float]],
+        average_rate: float,
+        name: str = "piecewise",
+    ) -> None:
+        self._iter = iter(segments)
+        self.average_rate = float(average_rate)
+        self.name = name
+        self._times: List[float] = []
+        self._rates: List[float] = []
+        self._exhausted = False
+        self._pull()  # materialize the first segment
+        if not self._times or self._times[0] != 0.0:
+            raise CapacityError("segment stream must start at t=0")
+
+    @classmethod
+    def from_list(
+        cls, segments: List[Tuple[float, float]], average_rate: Optional[float] = None
+    ) -> "PiecewiseCapacity":
+        """Build from an explicit finite breakpoint list."""
+        for (t1, r1), (t2, _r2) in zip(segments, segments[1:]):
+            if t2 <= t1:
+                raise CapacityError(f"non-increasing breakpoint {t2} after {t1}")
+            if r1 < 0:
+                raise CapacityError(f"negative rate {r1} at t={t1}")
+        if average_rate is None:
+            # Time-average over the covered span (last rate held forever
+            # is excluded from the average on purpose).
+            if len(segments) >= 2:
+                span = segments[-1][0] - segments[0][0]
+                work = sum(
+                    r * (segments[i + 1][0] - t)
+                    for i, (t, r) in enumerate(segments[:-1])
+                )
+                average_rate = work / span if span > 0 else segments[-1][1]
+            else:
+                average_rate = segments[0][1]
+        return cls(iter(list(segments)), average_rate)
+
+    # ------------------------------------------------------------------
+    def _pull(self) -> bool:
+        """Materialize one more segment; False when the stream ended."""
+        if self._exhausted:
+            return False
+        try:
+            t, r = next(self._iter)
+        except StopIteration:
+            self._exhausted = True
+            return False
+        if r < 0:
+            raise CapacityError(f"negative rate {r} at t={t}")
+        if self._times and t <= self._times[-1]:
+            raise CapacityError(
+                f"non-increasing breakpoint {t} after {self._times[-1]}"
+            )
+        self._times.append(float(t))
+        self._rates.append(float(r))
+        return True
+
+    def _ensure(self, t: float) -> None:
+        """Generate segments until the profile covers time ``t``."""
+        while not self._exhausted and self._times[-1] <= t:
+            for _ in range(self._CHUNK):
+                if not self._pull():
+                    break
+
+    def _index(self, t: float) -> int:
+        self._ensure(t)
+        return bisect.bisect_right(self._times, t) - 1
+
+    # ------------------------------------------------------------------
+    def rate_at(self, t: float) -> float:
+        if t < 0:
+            raise CapacityError(f"negative time {t}")
+        return self._rates[self._index(t)]
+
+    def work(self, t1: float, t2: float) -> float:
+        if t2 < t1:
+            raise CapacityError(f"bad interval [{t1}, {t2}]")
+        if t2 == t1:
+            return 0.0
+        self._ensure(t2)
+        i = self._index(t1)
+        total = 0.0
+        t = t1
+        while t < t2:
+            seg_end = self._times[i + 1] if i + 1 < len(self._times) else float("inf")
+            step_end = min(seg_end, t2)
+            total += self._rates[i] * (step_end - t)
+            t = step_end
+            i += 1
+        return total
+
+    def finish_time(self, start: float, length: float) -> float:
+        if length <= 0:
+            return start
+        i = self._index(start)
+        t = start
+        remaining = float(length)
+        # Safety valve against a profile that is zero forever.
+        zero_span = 0.0
+        max_zero_span = 1e9 / max(self.average_rate, 1.0)
+        while True:
+            rate = self._rates[i]
+            seg_end = self._times[i + 1] if i + 1 < len(self._times) else float("inf")
+            if seg_end == float("inf"):
+                self._ensure(t + 1.0)
+                if i + 1 < len(self._times):
+                    seg_end = self._times[i + 1]
+            if rate > 0:
+                can_do = rate * (seg_end - t) if seg_end != float("inf") else float("inf")
+                if can_do >= remaining:
+                    return t + remaining / rate
+                remaining -= can_do
+                zero_span = 0.0
+            else:
+                if seg_end == float("inf"):
+                    raise CapacityError(
+                        f"{self.name}: rate is zero forever after t={t}"
+                    )
+                zero_span += seg_end - t
+                if zero_span > max_zero_span:
+                    raise CapacityError(
+                        f"{self.name}: stalled at rate 0 for {zero_span:.3g}s"
+                    )
+            t = seg_end
+            i += 1
+            self._ensure(t)
+            if i >= len(self._times):
+                i = len(self._times) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PiecewiseCapacity({self.name}, avg={self.average_rate:.9g} b/s, "
+            f"{len(self._times)} segments materialized)"
+        )

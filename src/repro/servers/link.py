@@ -1,0 +1,232 @@
+"""The Link: a scheduler driven by a capacity process on a simulator.
+
+``Link`` is the single place where scheduling policy meets transmission
+capacity. It owns the non-preemptive service loop:
+
+* ``send(packet)`` — packet arrives; optionally drop-tail against a
+  buffer limit; otherwise enqueue and, if idle, start service;
+* service of one packet occupies the transmitter for
+  ``capacity.finish_time(now, length) - now`` seconds;
+* on completion the scheduler is notified (virtual-time bookkeeping),
+  departure hooks fire (multi-hop forwarding, sinks), and the next
+  packet is fetched.
+
+Every packet's (arrival, start-of-service, departure) is recorded in a
+:class:`repro.simulation.tracing.Tracer` for the fairness/delay
+analysis. Busy periods are logged because the FC/EBF definitions
+constrain work only *within* busy periods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.base import Scheduler
+from repro.core.packet import Packet
+from repro.servers.base import CapacityProcess
+from repro.simulation.engine import Simulator
+from repro.simulation.tracing import PacketRecord, Tracer
+
+DepartureHook = Callable[[Packet, float], None]
+DropHook = Callable[[Packet, float], None]
+
+
+class Link:
+    """A transmission link: scheduler + capacity process + event loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: Scheduler,
+        capacity: CapacityProcess,
+        name: str = "link",
+        buffer_packets: Optional[int] = None,
+        buffer_bits: Optional[int] = None,
+        per_flow_buffer_packets: Optional[Dict] = None,
+        drop_policy: str = "drop_tail",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if drop_policy not in ("drop_tail", "longest_queue"):
+            raise ValueError(
+                f"drop_policy must be 'drop_tail' or 'longest_queue', "
+                f"got {drop_policy!r}"
+            )
+        self.sim = sim
+        self.scheduler = scheduler
+        self.capacity = capacity
+        self.name = name
+        self.buffer_packets = buffer_packets
+        self.buffer_bits = buffer_bits
+        # flow id -> max queued packets for that flow (drop-tail per flow)
+        self.per_flow_buffer_packets = per_flow_buffer_packets or {}
+        #: "drop_tail" drops the arriving packet; "longest_queue" drops
+        #: from the tail of the longest queue instead (Demers et al.
+        #: 1989), protecting light flows from heavy ones at the buffer.
+        self.drop_policy = drop_policy
+        self.tracer = tracer if tracer is not None else Tracer(name)
+        self.departure_hooks: List[DepartureHook] = []
+        self.drop_hooks: List[DropHook] = []
+        self._busy = False
+        self._wakeup = None  # pending eligibility wake-up event
+        self._records: Dict[int, PacketRecord] = {}
+        self.bits_transmitted = 0
+        self.packets_transmitted = 0
+        self.packets_dropped = 0
+        self.busy_periods: List[Tuple[float, float]] = []
+        self._busy_since: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link at the current simulation time.
+
+        Returns False (and fires drop hooks) when the buffer is full.
+        """
+        now = self.sim.now
+        record = self.tracer.on_arrival(packet.flow, packet.seqno, packet.length, now)
+        # Longest-queue-drop may need several evictions to make room for
+        # a large arrival under a bits-denominated buffer.
+        while self._buffer_full(packet):
+            victim = None
+            if self.drop_policy == "longest_queue" and not self._per_flow_limited(packet):
+                victim = self._drop_from_longest_queue(now)
+            if victim is None:
+                record.dropped = True
+                self.packets_dropped += 1
+                for hook in self.drop_hooks:
+                    hook(packet, now)
+                return False
+        self._records[packet.uid] = record
+        self.scheduler.enqueue(packet, now)
+        if not self._busy:
+            self._start_service()
+        return True
+
+    def _per_flow_limited(self, packet: Packet) -> bool:
+        """True when this arrival violates its own flow's buffer cap
+        (longest-queue-drop must not steal room for a capped flow)."""
+        limit = self.per_flow_buffer_packets.get(packet.flow)
+        return (
+            limit is not None
+            and self.scheduler.flow_backlog(packet.flow) + 1 > limit
+        )
+
+    def _drop_from_longest_queue(self, now: float) -> Optional[Packet]:
+        """Evict the youngest packet of the most backlogged flow."""
+        longest = None
+        longest_backlog = 0
+        for flow_id in self.scheduler.backlogged_flows():
+            backlog = self.scheduler.flow_backlog(flow_id)
+            if backlog > longest_backlog:
+                longest, longest_backlog = flow_id, backlog
+        if longest is None:
+            return None
+        victim = self.scheduler.discard_tail(longest)
+        if victim is None:
+            return None
+        victim_record = self._records.pop(victim.uid, None)
+        if victim_record is not None:
+            victim_record.dropped = True
+        self.packets_dropped += 1
+        for hook in self.drop_hooks:
+            hook(victim, now)
+        return victim
+
+    def _buffer_full(self, packet: Packet) -> bool:
+        if not self._busy and self.scheduler.is_empty:
+            # The packet goes straight to the transmitter, not the
+            # waiting room; buffer limits do not apply.
+            return False
+        if (
+            self.buffer_packets is not None
+            and self.scheduler.backlog_packets + 1 > self.buffer_packets
+        ):
+            return True
+        if (
+            self.buffer_bits is not None
+            and self.scheduler.backlog_bits + packet.length > self.buffer_bits
+        ):
+            return True
+        limit = self.per_flow_buffer_packets.get(packet.flow)
+        if limit is not None and self.scheduler.flow_backlog(packet.flow) + 1 > limit:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+    def _start_service(self) -> None:
+        if self._busy:
+            # A departure hook already restarted service reentrantly
+            # (e.g. a closed-loop source refilling inside _complete).
+            return
+        now = self.sim.now
+        packet = self.scheduler.dequeue(now)
+        if packet is None:
+            if self._busy_since is not None:
+                self.busy_periods.append((self._busy_since, now))
+                self._busy_since = None
+            if self.scheduler.backlog_packets > 0:
+                # Non-work-conserving discipline holding packets back:
+                # wake up when the next one becomes eligible.
+                wake = self.scheduler.next_eligible_time(now)
+                if wake is not None and (
+                    self._wakeup is None or not self._wakeup.pending
+                ):
+                    self._wakeup = self.sim.at(
+                        max(wake, now), self._on_wakeup
+                    )
+            return
+        if self._busy_since is None:
+            self._busy_since = now
+        self._busy = True
+        record = self._records.get(packet.uid)
+        if record is not None:
+            record.start_service = now
+        finish = self.capacity.finish_time(now, packet.length)
+        self.sim.at(finish, self._complete, packet)
+
+    def _complete(self, packet: Packet) -> None:
+        now = self.sim.now
+        self._busy = False
+        record = self._records.pop(packet.uid, None)
+        if record is not None:
+            record.departure = now
+        self.bits_transmitted += packet.length
+        self.packets_transmitted += 1
+        self.scheduler.on_service_complete(packet, now)
+        for hook in self.departure_hooks:
+            hook(packet, now)
+        self._start_service()
+
+    def _on_wakeup(self) -> None:
+        self._wakeup = None
+        self._start_service()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def utilization(self, t1: float, t2: float) -> float:
+        """Fraction of nominal capacity used for traffic in [t1, t2]."""
+        if t2 <= t1:
+            return 0.0
+        possible = self.capacity.work(t1, t2)
+        if possible <= 0:
+            return 0.0
+        departed = [
+            r
+            for r in self.tracer.records
+            if r.departure is not None and t1 <= r.departure <= t2
+        ]
+        return sum(r.length for r in departed) / possible
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name}, {self.scheduler.algorithm}, "
+            f"tx={self.packets_transmitted}p, drop={self.packets_dropped}p)"
+        )

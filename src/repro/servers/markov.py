@@ -1,0 +1,71 @@
+"""Markov-modulated (Gilbert–Elliott) capacity process.
+
+A two-state continuous-slot Markov chain: each slot the server is in
+the GOOD state (rate ``good_rate``) or the BAD state (``bad_rate``);
+transitions happen per slot with probabilities ``p_gb`` / ``p_bg``.
+Models wireless/broadcast links with bursty outages — the motivating
+variable-rate servers of the paper's Section 2. With geometrically
+bounded sojourn times, the work-deficit tail decays exponentially, so a
+Gilbert–Elliott server is EBF (Definition 2); the experiment suite fits
+its (B, α) empirically like any other EBF process.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Tuple
+
+from repro.servers.base import CapacityError, PiecewiseCapacity
+
+
+class GilbertElliottCapacity(PiecewiseCapacity):
+    """Two-state Markov-modulated link rate."""
+
+    def __init__(
+        self,
+        good_rate: float,
+        bad_rate: float,
+        p_gb: float,
+        p_bg: float,
+        slot: float,
+        rng: Optional[random.Random] = None,
+        start_good: bool = True,
+    ) -> None:
+        if good_rate <= 0 or bad_rate < 0 or good_rate <= bad_rate:
+            raise CapacityError("need good_rate > bad_rate >= 0")
+        if not (0 < p_gb <= 1 and 0 < p_bg <= 1):
+            raise CapacityError("transition probabilities must be in (0, 1]")
+        if slot <= 0:
+            raise CapacityError("slot must be positive")
+        rng = rng if rng is not None else random.Random(0)
+        self.good_rate, self.bad_rate = float(good_rate), float(bad_rate)
+        self.p_gb, self.p_bg = float(p_gb), float(p_bg)
+        self.slot = float(slot)
+        # Stationary probability of GOOD.
+        pi_good = p_bg / (p_gb + p_bg)
+        mean = pi_good * good_rate + (1 - pi_good) * bad_rate
+        self.stationary_good = pi_good
+
+        def segments() -> Iterator[Tuple[float, float]]:
+            t = 0.0
+            good = start_good
+            while True:
+                yield (t, good_rate if good else bad_rate)
+                if good:
+                    if rng.random() < p_gb:
+                        good = False
+                else:
+                    if rng.random() < p_bg:
+                        good = True
+                t += slot
+
+        super().__init__(segments(), mean, name="gilbert-elliott")
+
+    @property
+    def mean_good_sojourn(self) -> float:
+        """Mean time spent in GOOD per visit (seconds)."""
+        return self.slot / self.p_gb
+
+    @property
+    def mean_bad_sojourn(self) -> float:
+        return self.slot / self.p_bg

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+This package provides the event-driven simulator on which every
+experiment in the reproduction runs: a heapq-based event loop
+(:mod:`repro.simulation.engine`), cancellable event handles
+(:mod:`repro.simulation.events`), seeded random-stream management
+(:mod:`repro.simulation.random`), and structured packet tracing
+(:mod:`repro.simulation.tracing`).
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event, EventCancelled
+from repro.simulation.process import Process, Until, Waiter, spawn
+from repro.simulation.random import RandomStreams
+from repro.simulation.tracing import PacketRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventCancelled",
+    "RandomStreams",
+    "PacketRecord",
+    "Tracer",
+    "Process",
+    "spawn",
+    "Until",
+    "Waiter",
+]

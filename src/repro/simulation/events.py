@@ -1,0 +1,85 @@
+"""Event handles for the discrete-event simulator.
+
+An :class:`Event` is a cancellable, ordered record placed on the
+simulator's heap. Ordering is by ``(time, priority, sequence)`` where
+``sequence`` is a monotonically increasing insertion counter, so events
+scheduled for the same instant fire in FIFO order of scheduling. The
+``priority`` field lets infrastructure events (e.g. capacity-profile
+breakpoints) run before or after ordinary events at the same instant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+
+class EventCancelled(Exception):
+    """Raised when interacting with an event that was cancelled."""
+
+
+_sequence = itertools.count()
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.simulation.engine.Simulator.at`
+    and :meth:`~repro.simulation.engine.Simulator.after`; user code should
+    not construct them directly.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_sequence)
+        self.callback: Optional[Callable[..., Any]] = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event is skipped by the loop.
+
+        Cancelling an already-fired or already-cancelled event is a no-op
+        so callers do not need to track firing themselves.
+        """
+        self.cancelled = True
+        # Drop references early so large closures are collectable even
+        # while the stale heap entry lingers.
+        self.callback = None
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        """True when the event is still scheduled to fire."""
+        return not self.cancelled and not self.fired
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            raise EventCancelled("attempted to fire a cancelled event")
+        self.fired = True
+        callback, args = self.callback, self.args
+        self.callback = None
+        self.args = ()
+        assert callback is not None
+        callback(*args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.9g}, prio={self.priority}, {state})"

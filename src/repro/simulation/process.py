@@ -1,0 +1,121 @@
+"""Generator-based processes on top of the event engine.
+
+Writing multi-step behaviours as callback chains gets awkward (see the
+TCP sender); a *process* is a plain generator that yields its next wait
+and is resumed by the engine:
+
+.. code-block:: python
+
+    def talker(sim, link):
+        for seq in range(100):
+            link.send(Packet("audio", 1280, seqno=seq))
+            yield 0.02                 # sleep 20 ms
+
+    spawn(sim, talker(sim, link))
+
+Yield values:
+
+* a ``float`` — sleep that many seconds;
+* an :class:`Until` — sleep until an absolute time;
+* a :class:`Waiter` — park until someone calls ``waiter.fire(value)``;
+  the fired value becomes the result of the ``yield`` expression.
+
+Processes compose with everything else in the library — they are just
+sugar over ``Simulator.after``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.simulation.engine import SimulationError, Simulator
+
+ProcessGen = Generator[Any, Any, None]
+
+
+class Until:
+    """Yield target: resume at an absolute simulation time."""
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = float(time)
+
+
+class Waiter:
+    """Yield target: an event another component fires explicitly.
+
+    A waiter can be fired before a process waits on it (the value is
+    latched), and multiple processes may wait on the same waiter.
+    """
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiting: List["Process"] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every process parked on this waiter."""
+        if self.fired:
+            raise SimulationError("waiter already fired")
+        self.fired = True
+        self.value = value
+        waiting, self._waiting = self._waiting, []
+        for process in waiting:
+            process._resume(value)
+
+
+class Process:
+    """A running generator process (created via :func:`spawn`)."""
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.error: Optional[BaseException] = None
+
+    def _start(self) -> None:
+        self._resume(None)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            target = self.gen.send(value)
+        except StopIteration:
+            self.finished = True
+            return
+        except Exception as exc:  # surface in the owner's face, once
+            self.finished = True
+            self.error = exc
+            raise
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            self.sim.after(float(target), self._resume, None)
+        elif isinstance(target, Until):
+            self.sim.at(max(target.time, self.sim.now), self._resume, None)
+        elif isinstance(target, Waiter):
+            if target.fired:
+                self.sim.after(0.0, self._resume, target.value)
+            else:
+                target._waiting.append(self)
+        else:
+            self.finished = True
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}; "
+                "yield a delay, Until, or Waiter"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name}, {state})"
+
+
+def spawn(sim: Simulator, gen: ProcessGen, name: str = "", delay: float = 0.0) -> Process:
+    """Start a generator process; its first step runs after ``delay``."""
+    process = Process(sim, gen, name=name)
+    sim.after(delay, process._start)
+    return process

@@ -1,0 +1,114 @@
+"""Structured packet tracing.
+
+A :class:`Tracer` collects one :class:`PacketRecord` per packet per hop.
+The analysis layer (:mod:`repro.analysis`) consumes these records to
+compute fairness measures, delay statistics and sequence-number series
+(Figure 1(b) of the paper plots exactly such a series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional
+
+
+@dataclass
+class PacketRecord:
+    """One packet's life at one server.
+
+    Times are simulation seconds; ``None`` marks events that have not
+    happened (a dropped packet never departs).
+    """
+
+    flow: Hashable
+    seqno: int
+    length: int
+    arrival: float
+    start_service: Optional[float] = None
+    departure: Optional[float] = None
+    dropped: bool = False
+    server: Optional[str] = None
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Queueing + transmission delay at this server, if departed."""
+        if self.departure is None:
+            return None
+        return self.departure - self.arrival
+
+    @property
+    def queueing_delay(self) -> Optional[float]:
+        """Time spent waiting before service began."""
+        if self.start_service is None:
+            return None
+        return self.start_service - self.arrival
+
+
+class Tracer:
+    """Collects per-packet records, indexed by flow."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.records: List[PacketRecord] = []
+        self._by_flow: Dict[Hashable, List[PacketRecord]] = {}
+
+    def add(self, record: PacketRecord) -> PacketRecord:
+        self.records.append(record)
+        self._by_flow.setdefault(record.flow, []).append(record)
+        return record
+
+    def on_arrival(
+        self, flow: Hashable, seqno: int, length: int, time: float
+    ) -> PacketRecord:
+        """Convenience: create and register an arrival record."""
+        return self.add(
+            PacketRecord(
+                flow=flow, seqno=seqno, length=length, arrival=time, server=self.name
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def flows(self) -> List[Hashable]:
+        return list(self._by_flow)
+
+    def for_flow(self, flow: Hashable) -> List[PacketRecord]:
+        return list(self._by_flow.get(flow, []))
+
+    def departed(self, flow: Optional[Hashable] = None) -> List[PacketRecord]:
+        records: Iterable[PacketRecord]
+        records = self.records if flow is None else self._by_flow.get(flow, [])
+        return [r for r in records if r.departure is not None]
+
+    def dropped(self, flow: Optional[Hashable] = None) -> List[PacketRecord]:
+        records: Iterable[PacketRecord]
+        records = self.records if flow is None else self._by_flow.get(flow, [])
+        return [r for r in records if r.dropped]
+
+    def delays(self, flow: Optional[Hashable] = None) -> List[float]:
+        return [r.delay for r in self.departed(flow) if r.delay is not None]
+
+    def work_in_interval(self, flow: Hashable, t1: float, t2: float) -> int:
+        """Aggregate bits of ``flow`` served entirely within ``[t1, t2]``.
+
+        The paper counts a packet as served in an interval if it *starts
+        and finishes* service within it (Section 1.2).
+        """
+        total = 0
+        for record in self._by_flow.get(flow, []):
+            if (
+                record.start_service is not None
+                and record.departure is not None
+                and record.start_service >= t1
+                and record.departure <= t2
+            ):
+                total += record.length
+        return total
+
+    def clear(self) -> None:
+        self.records.clear()
+        self._by_flow.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

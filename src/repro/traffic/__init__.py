@@ -1,0 +1,30 @@
+"""Traffic sources: CBR/bulk, Poisson, on-off, MPEG VBR, traces, shaping."""
+
+from repro.traffic.base import Ingress, Source
+from repro.traffic.cbr import BulkSource, CBRSource, PacedWindowSource
+from repro.traffic.leaky_bucket import LeakyBucketShaper, conforms
+from repro.traffic.pareto import ParetoOnOffSource, pareto_sample
+from repro.traffic.poisson import OnOffSource, PoissonSource
+from repro.traffic.trace import TraceSource
+from repro.traffic.tracefile import load_trace, record_source, save_trace
+from repro.traffic.vbr_video import DEFAULT_GOP, VBRVideoSource
+
+__all__ = [
+    "Source",
+    "Ingress",
+    "CBRSource",
+    "BulkSource",
+    "PacedWindowSource",
+    "PoissonSource",
+    "OnOffSource",
+    "ParetoOnOffSource",
+    "pareto_sample",
+    "VBRVideoSource",
+    "DEFAULT_GOP",
+    "TraceSource",
+    "save_trace",
+    "load_trace",
+    "record_source",
+    "LeakyBucketShaper",
+    "conforms",
+]

@@ -1,0 +1,73 @@
+"""Packet-trace file I/O (CSV).
+
+Trace-driven evaluation needs traces to move between tools; the format
+here is deliberately minimal: one ``arrival_seconds,length_bits`` pair
+per line, ``#`` comments allowed. :class:`~repro.traffic.trace.
+TraceSource` replays what :func:`load_trace` reads, and any source can
+be captured with :func:`record_source` for later replay — e.g. freezing
+one draw of the synthetic MPEG model so every scheduler under test sees
+the byte-identical "video tape".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Tuple
+
+from repro.core.packet import Packet
+
+TracePair = Tuple[float, int]
+
+
+def save_trace(path, trace: List[TracePair], header: str = "") -> None:
+    """Write ``(arrival_seconds, length_bits)`` pairs as CSV."""
+    lines = []
+    if header:
+        for line in header.splitlines():
+            lines.append(f"# {line}")
+    lines.append("# arrival_seconds,length_bits")
+    for t, length in trace:
+        if length <= 0:
+            raise ValueError(f"non-positive length {length} at t={t}")
+        lines.append(f"{t!r},{int(length)}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_trace(path) -> List[TracePair]:
+    """Read a CSV trace written by :func:`save_trace` (or by hand)."""
+    trace: List[TracePair] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            t_str, len_str = line.split(",")
+            t, length = float(t_str), int(len_str)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: bad trace line {raw!r}") from exc
+        if length <= 0:
+            raise ValueError(f"{path}:{lineno}: non-positive length {length}")
+        trace.append((t, length))
+    trace.sort(key=lambda p: p[0])
+    return trace
+
+
+def record_source(ingress_consumer: Callable[[Packet], object] = None):
+    """Build a recording tap: returns ``(tap, trace_list)``.
+
+    ``tap`` is an ingress callable that appends ``(arrival, length)`` to
+    ``trace_list`` and forwards to ``ingress_consumer`` (if given). Wire
+    it between a source and a link to capture exactly what was offered:
+
+    >>> tap, trace = record_source(link.send)   # doctest: +SKIP
+    >>> src = CBRSource(sim, "f", tap, ...)     # doctest: +SKIP
+    """
+    trace: List[TracePair] = []
+
+    def tap(packet: Packet):
+        trace.append((packet.arrival, packet.length))
+        if ingress_consumer is not None:
+            return ingress_consumer(packet)
+        return None
+
+    return tap, trace

@@ -1,0 +1,6 @@
+"""Transport layer: simplified TCP Reno and packet sinks."""
+
+from repro.transport.sink import PacketSink
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+__all__ = ["TcpSender", "TcpReceiver", "PacketSink"]

@@ -1,0 +1,10 @@
+"""Pytest fixtures shared across the suite."""
+
+import pytest
+
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()

@@ -1,0 +1,76 @@
+"""Shared workload helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import Packet, Scheduler
+from repro.servers import CapacityProcess, ConstantCapacity, Link
+from repro.simulation import Simulator
+
+
+def drive_greedy(
+    scheduler: Scheduler,
+    capacity: CapacityProcess,
+    flows: Sequence[Tuple[str, float, int, int]],
+    until: Optional[float] = None,
+) -> Link:
+    """Run a link with bulk (greedy) flows.
+
+    ``flows``: (flow_id, weight, packet_length, n_packets) tuples. Flows
+    are registered if not already present and all packets are injected
+    at t = 0.
+    """
+    sim = Simulator()
+    for flow_id, weight, _length, _count in flows:
+        if flow_id not in scheduler.flows:
+            scheduler.add_flow(flow_id, weight)
+    link = Link(sim, scheduler, capacity)
+
+    def inject() -> None:
+        for flow_id, _weight, length, count in flows:
+            for i in range(count):
+                link.send(Packet(flow_id, length, seqno=i))
+
+    sim.at(0.0, inject)
+    sim.run(until=until)
+    return link
+
+
+def service_order(link: Link) -> List[Tuple[str, int]]:
+    """(flow, seqno) in order of service start."""
+    records = [r for r in link.tracer.records if r.start_service is not None]
+    records.sort(key=lambda r: r.start_service)
+    return [(r.flow, r.seqno) for r in records]
+
+
+def work_by_flow(link: Link, t1: float, t2: float, flows: Iterable[str]) -> Dict[str, int]:
+    return {f: link.tracer.work_in_interval(f, t1, t2) for f in flows}
+
+
+def run_schedule(
+    scheduler: Scheduler,
+    capacity: CapacityProcess,
+    schedule: Sequence[Tuple[float, str, int]],
+    weights: Dict[str, float],
+    until: Optional[float] = None,
+) -> Link:
+    """Run a link with an explicit (time, flow, length) arrival schedule."""
+    sim = Simulator()
+    for flow_id, weight in weights.items():
+        if flow_id not in scheduler.flows:
+            scheduler.add_flow(flow_id, weight)
+    link = Link(sim, scheduler, capacity)
+    counters: Dict[str, int] = {}
+    for t, flow_id, length in schedule:
+        seq = counters.get(flow_id, 0)
+        counters[flow_id] = seq + 1
+        sim.at(t, lambda fl, s, lb: link.send(Packet(fl, lb, seqno=s)), flow_id, seq, length)
+    sim.run(until=until)
+    return link
+
+
+def constant_link(scheduler: Scheduler, rate: float) -> Tuple[Simulator, Link]:
+    sim = Simulator()
+    link = Link(sim, scheduler, ConstantCapacity(rate))
+    return sim, link

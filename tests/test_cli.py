@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _RUNNERS, _load, build_parser, main, run_experiment
+from repro.experiments.harness import ExperimentResult
+
+
+def test_every_listed_experiment_is_loadable():
+    for name in _RUNNERS:
+        runner = _load(name)
+        assert callable(runner)
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        _load("nope")
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in _RUNNERS:
+        assert name in out
+
+
+def test_run_fast_experiment(capsys):
+    assert main(["run", "example2"]) == 0
+    out = capsys.readouterr().out
+    assert "Example 2" in out
+    assert "SFQ" in out and "WFQ" in out
+
+
+def test_run_experiment_returns_result():
+    result = run_experiment("example1")
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+
+
+def test_seed_passed_only_where_accepted():
+    # table1 accepts a seed; example1 silently ignores the flag.
+    result = run_experiment("table1", seed=3)
+    assert isinstance(result, ExperimentResult)
+    result = run_experiment("example1", seed=3)
+    assert isinstance(result, ExperimentResult)
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "bogus"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,185 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import Simulator
+from repro.simulation.engine import SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(3.0, fired.append, "c")
+    sim.at(1.0, fired.append, "a")
+    sim.at(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_equal_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.at(1.0, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_orders_equal_time_events():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, "late", priority=1)
+    sim.at(1.0, fired.append, "early", priority=-1)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_after_schedules_relative():
+    sim = Simulator()
+    times = []
+    sim.after(2.0, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.at(5.0, lambda: sim.at(1.0, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().after(-1.0, lambda: None)
+
+
+def test_nan_time_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().at(float("nan"), lambda: None)
+
+
+def test_run_until_advances_clock_exactly():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    end = sim.run(until=10.0)
+    assert end == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, "in")
+    sim.at(20.0, fired.append, "out")
+    sim.run(until=10.0)
+    assert fired == ["in"]
+    # A later run picks the event up.
+    sim.run()
+    assert fired == ["in", "out"]
+
+
+def test_event_scheduled_at_now_fires_in_same_run():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, lambda: sim.at(sim.now, fired.append, "nested"))
+    sim.run()
+    assert fired == ["nested"]
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.at(1.0, fired.append, "x")
+    sim.at(0.5, event.cancel)
+    sim.run()
+    assert fired == []
+    assert not event.pending
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    event = sim.at(1.0, lambda: None)
+    sim.run()
+    event.cancel()  # must not raise
+    assert event.fired
+
+
+def test_stop_halts_loop():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, sim.stop)
+    sim.at(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_peek_returns_next_time():
+    sim = Simulator()
+    assert sim.peek() is None
+    sim.at(4.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    assert sim.peek() == 2.0
+
+
+def test_max_events_limits_run():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.at(float(i), fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_not_reentrant():
+    sim = Simulator()
+
+    def recurse():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.at(1.0, recurse)
+    sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_run_for_runs_relative_duration():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(5.0, fired.append, 5)
+    sim.run_for(2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run_for(3.0)
+    assert fired == [1, 5]

@@ -1,0 +1,128 @@
+"""Tests for the queueing-theory reference formulas, the residual
+capacity builder, and the simulator's M/D/1 cross-validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.queueing import (
+    md1_mean_delay,
+    md1_mean_wait,
+    md1_p_wait_exceeds,
+    mg1_mean_wait,
+    mm1_mean_delay,
+)
+from repro.analysis.servers import measure_fc_delta
+from repro.analysis.stats import mean
+from repro.core import FIFO
+from repro.servers import ConstantCapacity, Link, residual_from_demand
+from repro.servers.base import CapacityError
+from repro.simulation import RandomStreams, Simulator
+from repro.traffic import PoissonSource
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+def test_md1_formula_values():
+    # rho = 0.5: W = 0.5*s/(2*0.5) = s/2.
+    assert md1_mean_wait(50.0, 0.01) == pytest.approx(0.005)
+    assert md1_mean_delay(50.0, 0.01) == pytest.approx(0.015)
+
+
+def test_md1_is_half_mm1_wait():
+    # Deterministic service halves the P-K waiting time vs exponential.
+    lam, mu = 50.0, 100.0
+    mm1_wait = mm1_mean_delay(lam, mu) - 1 / mu
+    md1_wait = md1_mean_wait(lam, 1 / mu)
+    assert md1_wait == pytest.approx(mm1_wait / 2)
+
+
+def test_mg1_reduces_to_md1():
+    lam, s = 50.0, 0.01
+    assert mg1_mean_wait(lam, s, s * s) == pytest.approx(md1_mean_wait(lam, s))
+
+
+def test_utilization_validation():
+    with pytest.raises(ValueError):
+        md1_mean_wait(100.0, 0.01)  # rho = 1
+    with pytest.raises(ValueError):
+        mm1_mean_delay(100.0, 100.0)
+    with pytest.raises(ValueError):
+        md1_p_wait_exceeds(50.0, 0.01, -1.0)
+
+
+def test_md1_tail_decreasing():
+    p1 = md1_p_wait_exceeds(80.0, 0.01, 0.01)
+    p2 = md1_p_wait_exceeds(80.0, 0.01, 0.05)
+    assert p2 < p1 <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Simulator cross-validation: Poisson/FIFO/fixed packets ~ M/D/1
+# ----------------------------------------------------------------------
+def test_simulator_matches_md1_mean_delay():
+    rate, packet, link_rate = 700_000.0, 1600, 1_000_000.0
+    sim = Simulator()
+    link = Link(sim, FIFO(), ConstantCapacity(link_rate))
+    PoissonSource(
+        sim, "f", link.send, rate=rate, packet_length=packet,
+        rng=RandomStreams(99).stream("p"), stop_time=300.0,
+    ).start()
+    sim.run(until=305.0)
+    measured = mean(link.tracer.delays("f"))
+    analytic = md1_mean_delay(rate / packet, packet / link_rate)
+    assert measured == pytest.approx(analytic, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Residual capacity builder
+# ----------------------------------------------------------------------
+def test_residual_of_idle_priority_is_full_link():
+    residual = residual_from_demand(1000.0, [], slot=0.1, horizon=10.0)
+    assert residual.work(0.0, 10.0) == pytest.approx(10_000.0)
+
+
+def test_residual_subtracts_demand_work():
+    demand = [(1.0, 500.0), (2.0, 500.0)]
+    residual = residual_from_demand(1000.0, demand, slot=0.1, horizon=10.0)
+    assert residual.work(0.0, 10.0) == pytest.approx(9_000.0, rel=1e-6)
+
+
+def test_residual_never_negative_under_overload_burst():
+    # A burst bigger than a slot's work spills into later slots.
+    demand = [(0.0, 5_000.0)]
+    residual = residual_from_demand(1000.0, demand, slot=0.1, horizon=10.0)
+    for i in range(100):
+        assert residual.rate_at(i * 0.1) >= 0.0
+    # The first 5 seconds are fully consumed by the priority backlog.
+    assert residual.work(0.0, 5.0) == pytest.approx(0.0, abs=1e-6)
+    assert residual.work(5.0, 10.0) == pytest.approx(5_000.0, rel=1e-6)
+
+
+def test_residual_of_shaped_demand_is_fc_with_sigma():
+    """Section 2.3: (sigma, rho)-shaped priority demand leaves an
+    FC(C - rho, sigma) residual."""
+    rng = random.Random(77)
+    link_rate, rho, sigma = 1000.0, 400.0, 300.0
+    # Build a maximally bursty shaped arrival sequence: send sigma at
+    # once whenever the bucket refills.
+    demand = []
+    t, credit = 0.0, sigma
+    while t < 60.0:
+        demand.append((t, sigma))
+        t += sigma / rho + rng.uniform(0, 0.3)
+    residual = residual_from_demand(link_rate, demand, slot=0.01, horizon=60.0)
+    delta = measure_fc_delta(residual, link_rate - rho, horizon=60.0, step=0.01)
+    # Discretization can add up to one slot of work to the measured
+    # deficit; allow that margin.
+    assert delta <= sigma + link_rate * 0.01 + 1e-6
+
+
+def test_residual_validates_inputs():
+    with pytest.raises(CapacityError):
+        residual_from_demand(0.0, [], slot=0.1, horizon=1.0)
+    with pytest.raises(CapacityError):
+        residual_from_demand(1.0, [(-1.0, 10.0)], slot=0.1, horizon=1.0)

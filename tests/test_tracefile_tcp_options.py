@@ -1,0 +1,147 @@
+"""Tests for trace file I/O and the TCP delayed-ACK / receiver-window
+options."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FIFO, Packet
+from repro.servers import ConstantCapacity, Link
+from repro.simulation import Simulator
+from repro.traffic import (
+    CBRSource,
+    TraceSource,
+    load_trace,
+    record_source,
+    save_trace,
+)
+from repro.transport import TcpReceiver, TcpSender
+
+
+# ----------------------------------------------------------------------
+# Trace file I/O
+# ----------------------------------------------------------------------
+def test_save_load_roundtrip(tmp_path):
+    trace = [(0.0, 100), (0.5, 200), (1.25, 100)]
+    path = tmp_path / "t.csv"
+    save_trace(path, trace, header="demo trace\nsecond line")
+    loaded = load_trace(path)
+    assert loaded == trace
+    text = path.read_text()
+    assert text.startswith("# demo trace")
+
+
+def test_load_sorts_and_skips_comments(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("# c\n1.0,50\n\n0.5,60\n")
+    assert load_trace(path) == [(0.5, 60), (1.0, 50)]
+
+
+def test_load_rejects_garbage(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("abc,def\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+    path.write_text("1.0,-5\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+    with pytest.raises(ValueError):
+        save_trace(path, [(0.0, 0)])
+
+
+def test_record_and_replay_identical_offered_load(tmp_path):
+    # Record a CBR source, replay via TraceSource: identical arrivals.
+    sim = Simulator()
+    tap, trace = record_source()
+    CBRSource(sim, "f", tap, rate=1000.0, packet_length=100, max_packets=7).start()
+    sim.run()
+    path = tmp_path / "cbr.csv"
+    save_trace(path, trace)
+
+    sim2 = Simulator()
+    replayed = []
+    TraceSource(sim2, "f", lambda p: replayed.append((p.arrival, p.length)),
+                load_trace(path)).start()
+    sim2.run()
+    assert replayed == trace
+
+
+def test_record_source_forwards(tmp_path):
+    sim = Simulator()
+    link = Link(sim, FIFO(), ConstantCapacity(1000.0))
+    tap, trace = record_source(link.send)
+    CBRSource(sim, "f", tap, rate=1000.0, packet_length=100, max_packets=3).start()
+    sim.run()
+    assert len(trace) == 3
+    assert len(link.tracer.departed("f")) == 3
+
+
+# ----------------------------------------------------------------------
+# TCP options
+# ----------------------------------------------------------------------
+def _connection(delayed_ack=False, receiver_window=None, max_segments=40):
+    sim = Simulator()
+    link = Link(sim, FIFO(), ConstantCapacity(1_000_000.0))
+    receiver = TcpReceiver(sim, "t", ack_path_delay=0.002, delayed_ack=delayed_ack)
+    sender = TcpSender(
+        sim, "t", link.send, receiver, segment_bytes=200,
+        max_segments=max_segments, receiver_window=receiver_window,
+    )
+    link.departure_hooks.append(receiver.on_packet)
+    return sim, link, sender, receiver
+
+
+def test_delayed_ack_halves_ack_count():
+    sim, _link, sender, plain_rx = _connection(delayed_ack=False)
+    sender.start()
+    sim.run(until=20.0)
+    plain_acks = plain_rx.acks_sent
+
+    sim2, _link2, sender2, delack_rx = _connection(delayed_ack=True)
+    sender2.start()
+    sim2.run(until=20.0)
+    assert delack_rx.in_order_count == 40  # everything still delivered
+    assert delack_rx.acks_sent < 0.7 * plain_acks
+
+
+def test_delayed_ack_timer_flushes_odd_segment():
+    sim, _link, sender, receiver = _connection(delayed_ack=True, max_segments=1)
+    sender.start()
+    sim.run(until=5.0)
+    # One in-order segment: the delack timer (200 ms) must flush it.
+    assert receiver.acks_sent == 1
+    assert sender.highest_acked == 1
+
+
+def test_dup_acks_not_delayed():
+    sim = Simulator()
+    receiver = TcpReceiver(sim, "t", delayed_ack=True)
+    acks = []
+
+    class FakeSender:
+        def on_ack(self, ackno):
+            acks.append(ackno)
+
+    receiver.sender = FakeSender()
+    receiver.on_packet(Packet("t", 1600, seqno=0), 0.0)  # in order: held
+    receiver.on_packet(Packet("t", 1600, seqno=2), 0.1)  # gap: immediate
+    receiver.on_packet(Packet("t", 1600, seqno=3), 0.2)  # still gapped
+    sim.run(until=0.3)
+    assert acks == [1, 1]  # two immediate (dup) ACKs for the hole
+
+
+def test_receiver_window_caps_outstanding():
+    sim, _link, sender, _rx = _connection(receiver_window=4, max_segments=100)
+    sender.cwnd = 64.0
+    peak = [0]
+
+    def watch():
+        peak[0] = max(peak[0], sender.outstanding)
+        if sim.peek() is not None:
+            sim.after(0.0005, watch)
+
+    sender.start()
+    sim.at(0.0, watch)
+    sim.run(until=5.0)
+    assert peak[0] <= 4
+    assert sender.effective_window == 4
