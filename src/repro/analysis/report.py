@@ -36,6 +36,7 @@ DEFAULT_ORDER = [
     "vbr",
     "fa",
     "stress",
+    "faults",
     "robust-figure1",
     "robust-figure2b",
     "complexity",

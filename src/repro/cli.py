@@ -40,6 +40,7 @@ _RUNNERS: Dict[str, str] = {
     "vbr": "Section 2.3: generalized SFQ with per-packet rates",
     "interop": "Section 2.4: heterogeneous schedulers interoperate",
     "stress": "Theorem 1 under Pareto traffic + Gilbert-Elliott link",
+    "faults": "Fault tolerance: link outage + flow churn, invariant monitors",
     "robust-figure1": "Robustness: Figure 1(b) across buffers and seeds",
     "robust-figure2b": "Robustness: Figure 2(b) excess across seeds",
     "complexity": "Complexity accounting: GPS work vs self-clocking",
@@ -123,6 +124,10 @@ def _load(name: str) -> Callable[..., ExperimentResult]:
         from repro.experiments.stress import run_stress
 
         return run_stress
+    if name == "faults":
+        from repro.experiments.fault_tolerance import run_fault_tolerance
+
+        return run_fault_tolerance
     if name == "robust-figure1":
         from repro.experiments.robustness import run_figure1_robustness
 
@@ -141,6 +146,7 @@ def _load(name: str) -> Callable[..., ExperimentResult]:
 #: Experiments accepting each optional CLI knob.
 _ACCEPTS_SEED = {
     "table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress",
+    "faults",
 }
 _ACCEPTS_DURATION = {"figure1", "figure2b"}
 

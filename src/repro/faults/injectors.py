@@ -1,0 +1,368 @@
+"""Fault injectors: outages, flow churn, and packet-level faults.
+
+Each injector composes with the existing engine/link/switch stack — it
+schedules ordinary events on the shared :class:`Simulator` and drives
+public APIs (``Link.pause/resume``, ``Scheduler.add_flow/remove_flow``,
+an ingress callable). All randomness is drawn from named
+:class:`repro.simulation.random.RandomStreams` streams, so a faulted run
+remains a pure function of its seed and fault configuration: two runs
+with the same seed and schedule produce byte-identical traces.
+
+* :class:`LinkOutage` — the link goes dark and comes back, on a
+  deterministic ``[(down, up), ...]`` schedule or a seeded renewal
+  process (exponential time-to-failure / time-to-repair);
+* :class:`FlowChurn` — a pool of flows joins and leaves mid-run,
+  exercising ``add_flow``/``remove_flow`` and SFQ's virtual-time
+  restart rule (a re-joining flow's tag chain restarts at the current
+  ``v(t)``, Section 2);
+* :class:`PacketFaults` — seeded loss, header corruption (misrouting)
+  and reordering applied at an ingress point, upstream of a switch or
+  link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.packet import Packet
+from repro.servers.link import Link
+from repro.simulation.engine import Simulator
+from repro.simulation.random import RandomStreams
+from repro.traffic.base import Ingress, Source
+
+__all__ = ["LinkOutage", "FlowChurn", "PacketFaults"]
+
+#: Builds the traffic source for a churn flow: (flow_id, start, stop) ->
+#: an *unstarted* Source feeding the churned link.
+SourceFactory = Callable[[Hashable, float, float], Source]
+
+
+class LinkOutage:
+    """Drives a link through down/up cycles.
+
+    Parameters
+    ----------
+    schedule:
+        Deterministic mode: a sequence of ``(down_time, up_time)``
+        pairs, strictly increasing and non-overlapping.
+    streams, mean_time_to_failure, mean_outage:
+        Seeded mode: failures arrive as a renewal process — after each
+        recovery the next failure is ``Exp(mean_time_to_failure)`` away
+        and lasts ``Exp(mean_outage)``. Draws come from the stream
+        ``"outage:<link name>"`` so adding an outage never perturbs any
+        other random stream.
+    recovery:
+        ``"replay"`` retransmits the interrupted packet on recovery;
+        ``"drop"`` discards it (see :meth:`repro.servers.link.Link.resume`).
+    max_outages, stop_time:
+        Bounds for the seeded mode (either may be ``None``).
+
+    Call :meth:`start` to arm the injector.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        schedule: Optional[Sequence[Tuple[float, float]]] = None,
+        *,
+        streams: Optional[RandomStreams] = None,
+        mean_time_to_failure: Optional[float] = None,
+        mean_outage: Optional[float] = None,
+        recovery: str = "replay",
+        max_outages: Optional[int] = None,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        if recovery not in ("replay", "drop"):
+            raise ValueError(
+                f"recovery must be 'replay' or 'drop', got {recovery!r}"
+            )
+        seeded = streams is not None
+        if seeded == (schedule is not None):
+            raise ValueError(
+                "provide exactly one of schedule= (deterministic) or "
+                "streams= (seeded renewal process)"
+            )
+        if seeded and (mean_time_to_failure is None or mean_outage is None):
+            raise ValueError(
+                "seeded mode needs mean_time_to_failure and mean_outage"
+            )
+        if schedule is not None:
+            last_up = float("-inf")
+            for down, up in schedule:
+                if not (last_up < down < up):
+                    raise ValueError(
+                        f"outage [{down}, {up}] overlaps or is inverted"
+                    )
+                last_up = up
+        self.sim = sim
+        self.link = link
+        self.schedule = list(schedule) if schedule is not None else None
+        self.recovery = recovery
+        self.max_outages = max_outages
+        self.stop_time = stop_time
+        self.mean_time_to_failure = mean_time_to_failure
+        self.mean_outage = mean_outage
+        self._rng = streams.stream(f"outage:{link.name}") if seeded else None
+        self._started = False
+        self.outages = 0
+        self.downtime = 0.0
+        self._down_since: Optional[float] = None
+
+    def start(self) -> None:
+        """Arm the injector (schedules the first failure)."""
+        if self._started:
+            return
+        self._started = True
+        if self.schedule is not None:
+            for down, up in self.schedule:
+                self.sim.at(down, self._down)
+                self.sim.at(up, self._up)
+        else:
+            self._schedule_failure()
+
+    # ------------------------------------------------------------------
+    def _schedule_failure(self) -> None:
+        if self.max_outages is not None and self.outages >= self.max_outages:
+            return
+        assert self._rng is not None
+        delay = self._rng.expovariate(1.0 / self.mean_time_to_failure)
+        when = self.sim.now + delay
+        if self.stop_time is not None and when >= self.stop_time:
+            return
+        self.sim.at(when, self._down)
+
+    def _down(self) -> None:
+        if self.link.paused:
+            return
+        self.outages += 1
+        self._down_since = self.sim.now
+        self.link.pause()
+        if self._rng is not None:
+            self.sim.after(
+                self._rng.expovariate(1.0 / self.mean_outage), self._up
+            )
+
+    def _up(self) -> None:
+        if not self.link.paused:
+            return
+        if self._down_since is not None:
+            self.downtime += self.sim.now - self._down_since
+            self._down_since = None
+        self.link.resume(self.recovery)
+        if self._rng is not None:
+            self._schedule_failure()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkOutage({self.link.name}, outages={self.outages}, "
+            f"downtime={self.downtime:.9g}s)"
+        )
+
+
+class FlowChurn:
+    """A pool of flows joining and leaving a link mid-run.
+
+    Each churn flow alternates off/on: after an ``Exp(mean_off)`` idle
+    period it *joins* — registered with the link's scheduler at
+    ``weight`` and driven by a traffic source built via
+    ``make_source(flow_id, start, stop)`` — stays for ``Exp(mean_on)``,
+    then *leaves*: its source stops, and once its last queued packet has
+    drained the flow is removed from the scheduler (``remove_flow``
+    rejects backlogged flows, so removal waits for the drain). A
+    subsequent join re-registers the flow from scratch, which is exactly
+    the path that exercises SFQ's virtual-time restart rule: the fresh
+    tag chain starts at the *current* ``v(t)``, not at the flow's stale
+    finish tag.
+
+    Per-flow draws come from streams named ``"churn:<name>:<flow>"``, so
+    churn timing is independent of everything else in the run.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        make_source: SourceFactory,
+        *,
+        streams: RandomStreams,
+        flow_ids: Sequence[Hashable],
+        mean_on: float,
+        mean_off: float,
+        weight: float = 1.0,
+        stop_time: Optional[float] = None,
+        name: str = "churn",
+    ) -> None:
+        if mean_on <= 0 or mean_off <= 0:
+            raise ValueError("mean_on and mean_off must be positive")
+        self.sim = sim
+        self.link = link
+        self.make_source = make_source
+        self.flow_ids = list(flow_ids)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self.weight = float(weight)
+        self.stop_time = stop_time
+        self.name = name
+        self._rngs = {
+            fid: streams.stream(f"churn:{name}:{fid}") for fid in self.flow_ids
+        }
+        self._started = False
+        self._leaving: Set[Hashable] = set()
+        self.active: Set[Hashable] = set()
+        self.joins = 0
+        self.leaves = 0
+        self.sources: List[Source] = []
+        link.departure_hooks.append(self._on_departure)
+
+    def start(self) -> None:
+        """Arm the churn process (schedules each flow's first join)."""
+        if self._started:
+            return
+        self._started = True
+        for fid in self.flow_ids:
+            self._schedule_join(fid)
+
+    # ------------------------------------------------------------------
+    def _schedule_join(self, fid: Hashable) -> None:
+        delay = self._rngs[fid].expovariate(1.0 / self.mean_off)
+        when = self.sim.now + delay
+        if self.stop_time is not None and when >= self.stop_time:
+            return
+        self.sim.at(when, self._join, fid)
+
+    def _join(self, fid: Hashable) -> None:
+        if fid in self.active or fid in self._leaving:
+            return
+        now = self.sim.now
+        on_for = self._rngs[fid].expovariate(1.0 / self.mean_on)
+        stop = now + on_for
+        if self.stop_time is not None:
+            stop = min(stop, self.stop_time)
+        if fid not in self.link.scheduler.flows:
+            self.link.scheduler.add_flow(fid, self.weight)
+        source = self.make_source(fid, now, stop)
+        self.sources.append(source)
+        source.start()
+        self.active.add(fid)
+        self.joins += 1
+        self.sim.at(stop, self._leave, fid)
+
+    def _leave(self, fid: Hashable) -> None:
+        if fid not in self.active:
+            return
+        self.active.discard(fid)
+        self._leaving.add(fid)
+        self._try_remove(fid)
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        if packet.flow in self._leaving:
+            self._try_remove(packet.flow)
+
+    def _try_remove(self, fid: Hashable) -> None:
+        """Remove the flow once its backlog has fully drained."""
+        scheduler = self.link.scheduler
+        if scheduler.flow_backlog(fid) > 0:
+            return
+        in_flight = self.link.in_flight
+        if in_flight is not None and in_flight.flow == fid:
+            return
+        if fid in scheduler.flows:
+            scheduler.remove_flow(fid)
+        self._leaving.discard(fid)
+        self.leaves += 1
+        self._schedule_join(fid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowChurn({self.name}, joins={self.joins}, leaves={self.leaves}, "
+            f"active={sorted(map(repr, self.active))})"
+        )
+
+
+class PacketFaults:
+    """Seeded packet-level faults applied at an ingress point.
+
+    Wraps any ingress callable (``switch.receive``, ``link.send``) and
+    forwards packets through a fault pipeline:
+
+    * **loss** — with probability ``p_loss`` the packet vanishes;
+    * **misroute** — with probability ``p_misroute`` the packet's flow
+      id is rewritten to ``misroute_flow`` (header corruption); at a
+      switch with no route installed for that id this exercises the
+      ``no_route_policy`` path;
+    * **reorder** — with probability ``p_reorder`` the packet is held
+      for ``Uniform(0, max_reorder_delay)`` before delivery, letting
+      packets behind it overtake.
+
+    Draws come from the stream ``"pktfaults:<name>"``, one draw per
+    configured fault class per packet, in a fixed order — so the fault
+    pattern for a given seed is independent of event interleavings.
+
+    Use ``faults.send`` as the source's ingress.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ingress: Ingress,
+        *,
+        streams: RandomStreams,
+        p_loss: float = 0.0,
+        p_misroute: float = 0.0,
+        misroute_flow: Hashable = "__misrouted__",
+        p_reorder: float = 0.0,
+        max_reorder_delay: float = 0.0,
+        name: str = "pktfaults",
+    ) -> None:
+        for label, p in (
+            ("p_loss", p_loss),
+            ("p_misroute", p_misroute),
+            ("p_reorder", p_reorder),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {p}")
+        if p_reorder > 0 and max_reorder_delay <= 0:
+            raise ValueError("reordering needs max_reorder_delay > 0")
+        self.sim = sim
+        self.ingress = ingress
+        self.p_loss = float(p_loss)
+        self.p_misroute = float(p_misroute)
+        self.misroute_flow = misroute_flow
+        self.p_reorder = float(p_reorder)
+        self.max_reorder_delay = float(max_reorder_delay)
+        self._rng = streams.stream(f"pktfaults:{name}")
+        self.lost = 0
+        self.misrouted = 0
+        self.reordered = 0
+        self.delivered = 0
+
+    def send(self, packet: Packet) -> None:
+        """Fault pipeline ingress; deliver (or not) downstream."""
+        rng = self._rng
+        if self.p_loss > 0 and rng.random() < self.p_loss:
+            self.lost += 1
+            return
+        if self.p_misroute > 0 and rng.random() < self.p_misroute:
+            packet.meta["misrouted_from"] = packet.flow
+            packet.flow = self.misroute_flow
+            self.misrouted += 1
+        if self.p_reorder > 0 and rng.random() < self.p_reorder:
+            delay = rng.uniform(0.0, self.max_reorder_delay)
+            self.reordered += 1
+            self.sim.after(delay, self._deliver, packet)
+            return
+        self._deliver(packet)
+
+    __call__ = send
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.arrival = self.sim.now
+        self.delivered += 1
+        self.ingress(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketFaults(lost={self.lost}, misrouted={self.misrouted}, "
+            f"reordered={self.reordered}, delivered={self.delivered})"
+        )

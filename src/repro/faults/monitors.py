@@ -1,0 +1,477 @@
+"""Runtime invariant monitors.
+
+The paper's guarantees are stated over *every* interval of a run, but
+the existing analysis layer (:mod:`repro.analysis.fairness`) only checks
+them post-hoc, on traces an experiment happened to keep. These monitors
+hook into a live :class:`repro.servers.link.Link` and check the
+invariants *while the simulation runs*, so a violation surfaces at the
+instant it happens, with the offending window attached:
+
+* :class:`FairnessMonitor` — Theorem 1's bound
+  :math:`|W_f/r_f - W_g/r_g| \\le l_f^{max}/r_f + l_g^{max}/r_g`
+  for every pair of continuously backlogged flows;
+* :class:`VirtualTimeMonitor` — the system virtual time ``v(t)`` of a
+  tag-based scheduler never decreases;
+* :class:`ConservationAuditor` — every packet the link admits is
+  eventually departed, dropped, or still queued (no silent loss, no
+  double delivery).
+
+Each violation is a structured :class:`InvariantViolation`. Monitors run
+in ``mode="raise"`` (fail fast — debugging) or ``mode="record"``
+(accumulate violations — measurement), and a link's monitors bundle into
+a :class:`MonitorSuite` via :func:`install_monitors`.
+
+Implementation note on the fairness check: for an interval
+:math:`[t_1, t_2]` inside a common-backlog span, the normalized service
+gap is :math:`D(t_2) - D(t_1)` where ``D`` is the running signed
+difference of normalized work. Its maximum over all sub-intervals of the
+span is therefore ``max D - min D`` over the span, which the monitor
+maintains incrementally in O(1) per departure per pair — the same trick
+that makes the offline :func:`empirical_fairness_measure` exact, without
+storing the trace. Following the paper (Section 1.2), a packet counts
+toward an interval only if it starts *and* finishes service inside it;
+the monitor excludes the packet already on the wire when a pair's
+common-backlog span opens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.packet import Packet
+from repro.servers.link import Link
+
+__all__ = [
+    "InvariantViolation",
+    "Monitor",
+    "FairnessMonitor",
+    "VirtualTimeMonitor",
+    "ConservationAuditor",
+    "MonitorSuite",
+    "install_monitors",
+]
+
+
+class InvariantViolation(Exception):
+    """A runtime invariant was broken.
+
+    Attributes
+    ----------
+    invariant:
+        Which monitor fired (``"fairness"``, ``"virtual-time"``,
+        ``"packet-conservation"``).
+    time:
+        Simulation time of detection.
+    window:
+        ``(t1, t2)`` span of the offending trace window.
+    detail:
+        Human-readable description of the violation.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        time: float,
+        detail: str,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.time = float(time)
+        self.detail = detail
+        self.window = window if window is not None else (self.time, self.time)
+        super().__init__(
+            f"[{invariant}] t={self.time:.9g} "
+            f"window=[{self.window[0]:.9g}, {self.window[1]:.9g}]: {detail}"
+        )
+
+
+class Monitor:
+    """Base class: violation accumulation and raise/record modes."""
+
+    invariant = "abstract"
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in ("raise", "record"):
+            raise ValueError(f"mode must be 'raise' or 'record', got {mode!r}")
+        self.mode = mode
+        self.violations: List[InvariantViolation] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise the first recorded violation, if any."""
+        if self.violations:
+            raise self.violations[0]
+
+    def _violate(
+        self,
+        time: float,
+        detail: str,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> InvariantViolation:
+        violation = InvariantViolation(self.invariant, time, detail, window)
+        self.violations.append(violation)
+        if self.mode == "raise":
+            raise violation
+        return violation
+
+
+class _PairState:
+    """Running gap statistics for one pair's common-backlog span."""
+
+    __slots__ = ("since", "d", "dmin", "dmax")
+
+    def __init__(self, since: float) -> None:
+        self.since = since
+        self.d = 0.0
+        self.dmin = 0.0
+        self.dmax = 0.0
+
+
+class FairnessMonitor(Monitor):
+    """Online check of Theorem 1's fairness bound at one link.
+
+    For every pair of flows, over every maximal interval in which both
+    are continuously backlogged, the difference in normalized service
+    must stay within ``l_f_max/r_f + l_g_max/r_g`` (+ ``slack``). Rates
+    are the flows' scheduler weights; max packet lengths are learned
+    from the arrivals seen so far, exactly as the theorem's constants.
+
+    ``bound_factor`` scales the bound — useful when monitoring a
+    discipline with a *weaker* guarantee than SFQ (e.g. DRR's extra
+    quantum term), or set ``float("inf")`` to just measure
+    :attr:`max_gap` without ever firing.
+
+    The monitor tracks at most ``max_flows`` flows (pair state is
+    quadratic); later flows are ignored.
+    """
+
+    invariant = "fairness"
+
+    def __init__(
+        self,
+        link: Link,
+        mode: str = "raise",
+        slack: float = 1e-9,
+        bound_factor: float = 1.0,
+        max_flows: int = 64,
+    ) -> None:
+        super().__init__(mode)
+        self.link = link
+        self.slack = float(slack)
+        self.bound_factor = float(bound_factor)
+        self.max_flows = int(max_flows)
+        #: Largest normalized gap observed in any common-backlog window.
+        self.max_gap = 0.0
+        self.max_gap_pair: Optional[Tuple[Hashable, Hashable]] = None
+        self._outstanding: Dict[Hashable, int] = {}
+        self._weight: Dict[Hashable, float] = {}
+        self._max_len: Dict[Hashable, int] = {}
+        self._pairs: Dict[Tuple[Hashable, Hashable], _PairState] = {}
+        self._admitted: Set[int] = set()  # uids currently in the link
+        self._last_departure = float("-inf")
+        link.arrival_hooks.append(self._on_arrival)
+        link.departure_hooks.append(self._on_departure)
+        link.drop_hooks.append(self._on_drop)
+
+    # ------------------------------------------------------------------
+    def _tracked(self, flow: Hashable) -> bool:
+        return flow in self._weight
+
+    def _on_arrival(self, packet: Packet, now: float) -> None:
+        flow = packet.flow
+        if not self._tracked(flow):
+            if len(self._weight) >= self.max_flows:
+                return
+            state = self.link.scheduler.flows.get(flow)
+            if state is None:
+                # Composite scheduler managing flows internally;
+                # nothing to normalize by — skip this flow.
+                return
+            self._weight[flow] = state.weight
+            self._max_len[flow] = 0
+            self._outstanding[flow] = 0
+        else:
+            state = self.link.scheduler.flows.get(flow)
+            if state is not None:
+                self._weight[flow] = state.weight
+        if packet.length > self._max_len[flow]:
+            self._max_len[flow] = packet.length
+        self._admitted.add(packet.uid)
+        self._outstanding[flow] += 1
+        if self._outstanding[flow] == 1:
+            # Flow just became backlogged: open a common-backlog span
+            # with every other currently backlogged flow.
+            for other, count in self._outstanding.items():
+                if other == flow or count == 0:
+                    continue
+                self._pairs[self._key(flow, other)] = _PairState(now)
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        # A packet counts toward an interval only if it started service
+        # inside it (paper Section 1.2). The start instant is bounded
+        # below by both the packet's link-local arrival and the previous
+        # departure of this serial server.
+        started_lb = max(packet.arrival, self._last_departure)
+        self._last_departure = now
+        if packet.uid not in self._admitted:
+            return
+        self._admitted.discard(packet.uid)
+        self._credit(packet.flow, packet.length, started_lb, now)
+        self._finish_one(packet.flow, now)
+
+    def _on_drop(self, packet: Packet, now: float) -> None:
+        # A dropped packet leaves the backlog without being served.
+        # Ingress-rejected packets never fired the arrival hook and must
+        # not decrement; evicted or outage-dropped ones did and must.
+        if packet.uid not in self._admitted:
+            return
+        self._admitted.discard(packet.uid)
+        if packet.meta.get("outage_drop"):
+            # The scheduler allocated this packet its service slot; the
+            # outage destroyed it on the wire. Theorem 1 bounds the
+            # *scheduler's* allocation, so the slot still counts —
+            # otherwise every outage drop would masquerade as an
+            # unfairness of the discipline.
+            started_lb = max(packet.arrival, self._last_departure)
+            self._last_departure = now
+            self._credit(packet.flow, packet.length, started_lb, now)
+        self._finish_one(packet.flow, now)
+
+    def _credit(
+        self, flow: Hashable, length: int, started_lb: float, now: float
+    ) -> None:
+        """Post ``length`` bits of service for ``flow`` to every open pair."""
+        normalized = length / self._weight[flow]
+        for (a, b), pair in self._pairs.items():
+            if flow != a and flow != b:
+                continue
+            if started_lb < pair.since - 1e-12:
+                continue  # packet predates this common-backlog span
+            pair.d += normalized if flow == a else -normalized
+            if pair.d < pair.dmin:
+                pair.dmin = pair.d
+            if pair.d > pair.dmax:
+                pair.dmax = pair.d
+            gap = pair.dmax - pair.dmin
+            if gap > self.max_gap:
+                self.max_gap = gap
+                self.max_gap_pair = (a, b)
+            bound = (
+                self._max_len[a] / self._weight[a]
+                + self._max_len[b] / self._weight[b]
+            ) * self.bound_factor + self.slack
+            if gap > bound:
+                self._violate(
+                    now,
+                    f"flows {a!r}/{b!r}: normalized service gap "
+                    f"{gap:.9g} exceeds Theorem 1 bound {bound:.9g} "
+                    f"({self.link.scheduler.algorithm} at {self.link.name})",
+                    window=(pair.since, now),
+                )
+
+    def _finish_one(self, flow: Hashable, now: float) -> None:
+        self._outstanding[flow] -= 1
+        if self._outstanding[flow] == 0:
+            # Backlog span over: close every pair involving this flow.
+            for key in [k for k in self._pairs if flow in k]:
+                del self._pairs[key]
+
+    @staticmethod
+    def _key(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]:
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+
+class VirtualTimeMonitor(Monitor):
+    """Checks that a scheduler's system virtual time never decreases.
+
+    SFQ's ``v(t)`` (Section 2, rule 2) is non-decreasing by
+    construction: within a busy period it follows start tags of packets
+    in service (served in non-decreasing start-tag order), and at the
+    end of a busy period it jumps up to the max served finish tag. A
+    decrease means corrupted scheduler state — e.g. a buggy flow-churn
+    path resetting tags — and would silently break every fairness and
+    delay guarantee downstream. Works with any scheduler exposing a
+    ``virtual_time`` property (SFQ, SCFQ, WFQ, FQS).
+    """
+
+    invariant = "virtual-time"
+
+    def __init__(self, link: Link, mode: str = "raise", eps: float = 1e-9) -> None:
+        super().__init__(mode)
+        if not hasattr(link.scheduler, "virtual_time"):
+            raise TypeError(
+                f"{link.scheduler.algorithm} exposes no virtual_time; "
+                "VirtualTimeMonitor only applies to tag-based schedulers"
+            )
+        self.link = link
+        self.eps = float(eps)
+        self.last_v = float("-inf")
+        self._last_check = 0.0
+        link.arrival_hooks.append(self._check)
+        link.departure_hooks.append(self._check)
+
+    def _check(self, packet: Packet, now: float) -> None:
+        v = self.link.scheduler.virtual_time
+        if v < self.last_v - self.eps:
+            self._violate(
+                now,
+                f"virtual time moved backwards: {v:.9g} < {self.last_v:.9g} "
+                f"({self.link.scheduler.algorithm} at {self.link.name})",
+                window=(self._last_check, now),
+            )
+        self.last_v = max(self.last_v, v)
+        self._last_check = now
+
+
+class ConservationAuditor(Monitor):
+    """Packet conservation: admitted = departed + dropped + queued.
+
+    Tracks every admitted packet's uid. A departure or drop of a packet
+    that was never admitted (or already accounted) fires immediately —
+    that is a double delivery. Silent loss is the inverse and cannot be
+    seen from any single event, so call :meth:`audit` (e.g. at the end
+    of a run) to reconcile the outstanding set against what the link's
+    scheduler and transmitter actually still hold.
+    """
+
+    invariant = "packet-conservation"
+
+    def __init__(self, link: Link, mode: str = "raise") -> None:
+        super().__init__(mode)
+        self.link = link
+        self.admitted = 0
+        self.departed = 0
+        self.dropped = 0
+        self._outstanding: Set[int] = set()
+        link.arrival_hooks.append(self._on_arrival)
+        link.departure_hooks.append(self._on_departure)
+        link.drop_hooks.append(self._on_drop)
+
+    def _on_arrival(self, packet: Packet, now: float) -> None:
+        if packet.uid in self._outstanding:
+            self._violate(now, f"packet uid={packet.uid} admitted twice")
+            return
+        self._outstanding.add(packet.uid)
+        self.admitted += 1
+
+    def _on_departure(self, packet: Packet, now: float) -> None:
+        if packet.uid not in self._outstanding:
+            self._violate(
+                now,
+                f"packet uid={packet.uid} (flow {packet.flow!r}) departed "
+                "but was never admitted — double delivery or hook misuse",
+            )
+            return
+        self._outstanding.discard(packet.uid)
+        self.departed += 1
+
+    def _on_drop(self, packet: Packet, now: float) -> None:
+        # Rejected-at-ingress packets were never admitted; evicted and
+        # outage-dropped ones were. Both are legitimate drops.
+        self._outstanding.discard(packet.uid)
+        self.dropped += 1
+
+    @property
+    def outstanding(self) -> int:
+        """Packets admitted but not yet departed or dropped."""
+        return len(self._outstanding)
+
+    def audit(self) -> None:
+        """Reconcile the books against the link's actual queue state.
+
+        Every outstanding packet must be physically present: either
+        queued in the scheduler or occupying the transmitter. A
+        mismatch means a packet evaporated (or materialized) without
+        any hook firing.
+        """
+        held = self.link.scheduler.backlog_packets
+        if self.link.in_flight is not None:
+            held += 1
+        if self.outstanding != held:
+            self._violate(
+                self.link.sim.now,
+                f"conservation mismatch at {self.link.name}: "
+                f"{self.outstanding} packets unaccounted for vs {held} "
+                f"physically held (admitted={self.admitted}, "
+                f"departed={self.departed}, dropped={self.dropped})",
+                window=(0.0, self.link.sim.now),
+            )
+
+
+class MonitorSuite:
+    """The monitors installed on one link, as a unit."""
+
+    def __init__(
+        self,
+        link: Link,
+        fairness: Optional[FairnessMonitor],
+        virtual_time: Optional[VirtualTimeMonitor],
+        conservation: Optional[ConservationAuditor],
+    ) -> None:
+        self.link = link
+        self.fairness = fairness
+        self.virtual_time = virtual_time
+        self.conservation = conservation
+
+    @property
+    def monitors(self) -> List[Monitor]:
+        return [
+            m
+            for m in (self.fairness, self.virtual_time, self.conservation)
+            if m is not None
+        ]
+
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        out: List[InvariantViolation] = []
+        for monitor in self.monitors:
+            out.extend(monitor.violations)
+        out.sort(key=lambda v: v.time)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return all(m.ok for m in self.monitors)
+
+    def audit(self) -> None:
+        """Run the end-of-run conservation reconciliation."""
+        if self.conservation is not None:
+            self.conservation.audit()
+
+    def assert_clean(self) -> None:
+        """Audit, then raise the earliest violation if any was recorded."""
+        self.audit()
+        violations = self.violations
+        if violations:
+            raise violations[0]
+
+
+def install_monitors(
+    link: Link,
+    mode: str = "record",
+    fairness: bool = True,
+    virtual_time: Optional[bool] = None,
+    conservation: bool = True,
+    slack: float = 1e-9,
+    bound_factor: float = 1.0,
+) -> MonitorSuite:
+    """Attach the standard invariant monitors to ``link``.
+
+    ``virtual_time=None`` auto-detects: the monitor is installed iff the
+    link's scheduler exposes a ``virtual_time`` property. Returns the
+    :class:`MonitorSuite`; call its :meth:`~MonitorSuite.audit` (or
+    :meth:`~MonitorSuite.assert_clean`) after the run.
+    """
+    if virtual_time is None:
+        virtual_time = hasattr(link.scheduler, "virtual_time")
+    return MonitorSuite(
+        link,
+        FairnessMonitor(link, mode=mode, slack=slack, bound_factor=bound_factor)
+        if fairness
+        else None,
+        VirtualTimeMonitor(link, mode=mode) if virtual_time else None,
+        ConservationAuditor(link, mode=mode) if conservation else None,
+    )

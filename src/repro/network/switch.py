@@ -4,15 +4,25 @@ A :class:`Switch` classifies incoming packets by flow id and forwards
 each to the :class:`repro.servers.link.Link` of its output port. All
 queueing happens at the output links (output-queued model), which is
 the model the paper's single-switch simulations use (Figure 1(a)).
+
+A packet with no installed route is a *fault*, not a programming error,
+in any long-running deployment (stale routing tables, misrouted or
+corrupted headers). The ``no_route_policy`` knob decides whether such a
+packet aborts the simulation (``"raise"``, the strict default) or is
+dropped and counted (``"drop"``) so the rest of the network keeps
+running — the behaviour a real switch exhibits.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Callable, Dict, Hashable, List
 
 from repro.core.packet import Packet
 from repro.servers.link import Link
 from repro.simulation.engine import Simulator
+
+#: Called with (packet, now) when a packet is dropped for lack of a route.
+NoRouteHook = Callable[[Packet, float], None]
 
 
 class RoutingError(Exception):
@@ -20,14 +30,36 @@ class RoutingError(Exception):
 
 
 class Switch:
-    """A switch with named output ports, each backed by a Link."""
+    """A switch with named output ports, each backed by a Link.
 
-    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+    Parameters
+    ----------
+    no_route_policy:
+        ``"raise"`` (default) raises :class:`RoutingError` on a packet
+        with no route, aborting the run; ``"drop"`` silently discards
+        it, increments :attr:`packets_dropped_no_route` and fires
+        :attr:`drop_hooks` so monitors can account for the loss.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "switch",
+        no_route_policy: str = "raise",
+    ) -> None:
+        if no_route_policy not in ("raise", "drop"):
+            raise ValueError(
+                f"no_route_policy must be 'raise' or 'drop', "
+                f"got {no_route_policy!r}"
+            )
         self.sim = sim
         self.name = name
+        self.no_route_policy = no_route_policy
         self.ports: Dict[str, Link] = {}
         self._routes: Dict[Hashable, str] = {}
         self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+        self.drop_hooks: List[NoRouteHook] = []
 
     def add_port(self, port_name: str, link: Link) -> Link:
         if port_name in self.ports:
@@ -40,13 +72,23 @@ class Switch:
             raise RoutingError(f"no port {port_name!r} on {self.name}")
         self._routes[flow_id] = port_name
 
+    def remove_route(self, flow_id: Hashable) -> None:
+        """Uninstall a route (flow churn); unknown flow ids are a no-op."""
+        self._routes.pop(flow_id, None)
+
     def receive(self, packet: Packet) -> None:
         """Ingress: forward the packet to its output port's link."""
         port_name = self._routes.get(packet.flow)
         if port_name is None:
-            raise RoutingError(
-                f"{self.name}: no route for flow {packet.flow!r}"
-            )
+            if self.no_route_policy == "raise":
+                raise RoutingError(
+                    f"{self.name}: no route for flow {packet.flow!r}"
+                )
+            self.packets_dropped_no_route += 1
+            now = self.sim.now
+            for hook in self.drop_hooks:
+                hook(packet, now)
+            return
         self.packets_forwarded += 1
         self.ports[port_name].send(packet)
 

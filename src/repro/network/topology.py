@@ -27,10 +27,10 @@ class Network:
         self.links: Dict[str, Link] = {}
         self.sinks: Dict[str, PacketSink] = {}
 
-    def add_switch(self, name: str) -> Switch:
+    def add_switch(self, name: str, no_route_policy: str = "raise") -> Switch:
         if name in self.switches:
             raise ValueError(f"switch {name!r} already exists")
-        switch = Switch(self.sim, name)
+        switch = Switch(self.sim, name, no_route_policy=no_route_policy)
         self.switches[name] = switch
         return switch
 

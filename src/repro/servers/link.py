@@ -15,6 +15,17 @@ Every packet's (arrival, start-of-service, departure) is recorded in a
 :class:`repro.simulation.tracing.Tracer` for the fairness/delay
 analysis. Busy periods are logged because the FC/EBF definitions
 constrain work only *within* busy periods.
+
+Outages
+-------
+:meth:`Link.pause` / :meth:`Link.resume` model link failure and
+recovery (capacity going to zero and back) without deadlocking the
+service loop: while paused the link accepts and queues arrivals but
+starts no transmission, and the packet that was on the wire when the
+outage hit is either retransmitted from scratch (``recovery="replay"``)
+or dropped and counted (``recovery="drop"``) at recovery time. The
+:class:`repro.faults.LinkOutage` injector drives these hooks on a
+deterministic or seeded schedule.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from repro.simulation.tracing import PacketRecord, Tracer
 
 DepartureHook = Callable[[Packet, float], None]
 DropHook = Callable[[Packet, float], None]
+ArrivalHook = Callable[[Packet, float], None]
 
 
 class Link:
@@ -66,7 +78,13 @@ class Link:
         self.tracer = tracer if tracer is not None else Tracer(name)
         self.departure_hooks: List[DepartureHook] = []
         self.drop_hooks: List[DropHook] = []
+        #: Fired for every *accepted* arrival, after the scheduler has
+        #: enqueued it (runtime invariant monitors hang off these).
+        self.arrival_hooks: List[ArrivalHook] = []
         self._busy = False
+        self._paused = False
+        self._in_flight: Optional[Packet] = None
+        self._completion = None  # pending transmission-complete event
         self._wakeup = None  # pending eligibility wake-up event
         self._records: Dict[int, PacketRecord] = {}
         self.bits_transmitted = 0
@@ -99,6 +117,8 @@ class Link:
                 return False
         self._records[packet.uid] = record
         self.scheduler.enqueue(packet, now)
+        for hook in self.arrival_hooks:
+            hook(packet, now)
         if not self._busy:
             self._start_service()
         return True
@@ -161,6 +181,9 @@ class Link:
             # A departure hook already restarted service reentrantly
             # (e.g. a closed-loop source refilling inside _complete).
             return
+        if self._paused:
+            # Link is down: arrivals queue, the transmitter stays idle.
+            return
         now = self.sim.now
         packet = self.scheduler.dequeue(now)
         if packet is None:
@@ -181,15 +204,18 @@ class Link:
         if self._busy_since is None:
             self._busy_since = now
         self._busy = True
+        self._in_flight = packet
         record = self._records.get(packet.uid)
         if record is not None:
             record.start_service = now
         finish = self.capacity.finish_time(now, packet.length)
-        self.sim.at(finish, self._complete, packet)
+        self._completion = self.sim.at(finish, self._complete, packet)
 
     def _complete(self, packet: Packet) -> None:
         now = self.sim.now
         self._busy = False
+        self._in_flight = None
+        self._completion = None
         record = self._records.pop(packet.uid, None)
         if record is not None:
             record.departure = now
@@ -205,11 +231,90 @@ class Link:
         self._start_service()
 
     # ------------------------------------------------------------------
+    # Outage control (link down / up)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Take the link down at the current simulation time.
+
+        The in-flight transmission (if any) is aborted — its completion
+        event is cancelled and the packet is held for :meth:`resume` to
+        replay or drop. Arrivals while paused are queued normally (up to
+        the buffer limits); no service starts until :meth:`resume`.
+        Pausing an already-paused link is a no-op.
+        """
+        if self._paused:
+            return
+        self._paused = True
+        if self._completion is not None and self._completion.pending:
+            self._completion.cancel()
+        self._completion = None
+        if self._wakeup is not None and self._wakeup.pending:
+            self._wakeup.cancel()
+        self._wakeup = None
+
+    def resume(self, recovery: str = "replay") -> None:
+        """Bring the link back up.
+
+        ``recovery="replay"`` retransmits the packet that was on the
+        wire when the outage hit from scratch (the receiver saw only a
+        truncated frame); ``recovery="drop"`` discards it, counting it
+        in :attr:`packets_dropped` and firing drop hooks, which models a
+        link that flushes its transmit ring on reset. Either way the
+        service loop restarts, so a zero-capacity episode can never
+        deadlock the link. Resuming a link that is not paused is a
+        no-op.
+        """
+        if recovery not in ("replay", "drop"):
+            raise ValueError(
+                f"recovery must be 'replay' or 'drop', got {recovery!r}"
+            )
+        if not self._paused:
+            return
+        self._paused = False
+        now = self.sim.now
+        packet = self._in_flight
+        if packet is not None:
+            if recovery == "replay":
+                record = self._records.get(packet.uid)
+                if record is not None:
+                    record.start_service = now
+                finish = self.capacity.finish_time(now, packet.length)
+                self._completion = self.sim.at(finish, self._complete, packet)
+                return
+            # recovery == "drop": the interrupted packet is lost. The
+            # scheduler still gets its completion notification (the
+            # service slot is over, the packet just never arrived), so
+            # virtual-time bookkeeping stays consistent. The packet is
+            # tagged so monitors can tell allocated-then-destroyed
+            # service from a queue eviction.
+            self._busy = False
+            self._in_flight = None
+            record = self._records.pop(packet.uid, None)
+            if record is not None:
+                record.dropped = True
+            packet.meta["outage_drop"] = True
+            self.packets_dropped += 1
+            self.scheduler.on_service_complete(packet, now)
+            for hook in self.drop_hooks:
+                hook(packet, now)
+        self._start_service()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def paused(self) -> bool:
+        """True while the link is down (between pause() and resume())."""
+        return self._paused
+
+    @property
+    def in_flight(self) -> Optional[Packet]:
+        """The packet currently occupying the transmitter, if any."""
+        return self._in_flight
 
     def utilization(self, t1: float, t2: float) -> float:
         """Fraction of nominal capacity used for traffic in [t1, t2]."""

@@ -34,6 +34,7 @@ class Simulator:
         self._heap: list[Event] = []
         self._running = False
         self._stopped = False
+        self._truncated = False
         self._events_processed = 0
 
     # ------------------------------------------------------------------
@@ -48,6 +49,17 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events fired so far (for complexity accounting)."""
         return self._events_processed
+
+    @property
+    def truncated(self) -> bool:
+        """True when the last :meth:`run` hit ``max_events`` with work
+        still pending (within ``until``, if one was given).
+
+        A truncated run is an *incomplete* simulation — results computed
+        from its traces are suspect. The flag is reset by the next call
+        to :meth:`run`.
+        """
+        return self._truncated
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -119,7 +131,9 @@ class Simulator:
             and advance the clock to exactly ``until``. ``None`` runs to
             event-queue exhaustion.
         max_events:
-            Safety valve for runaway simulations.
+            Safety valve for runaway simulations. Exhausting it with
+            events still pending sets :attr:`truncated` so callers can
+            tell an incomplete run from a naturally finished one.
 
         Returns the simulation time at which the loop stopped.
         """
@@ -127,6 +141,7 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
+        self._truncated = False
         fired = 0
         try:
             while not self._stopped:
@@ -142,6 +157,11 @@ class Simulator:
                 event._fire()
                 fired += 1
                 if max_events is not None and fired >= max_events:
+                    self._drop_cancelled()
+                    if self._heap and (
+                        until is None or self._heap[0].time <= until
+                    ):
+                        self._truncated = True
                     break
         finally:
             self._running = False

@@ -154,6 +154,76 @@ def test_max_events_limits_run():
     assert fired == [0, 1, 2]
 
 
+def test_truncated_flag_set_when_work_remains():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(float(i), lambda: None)
+    sim.run(max_events=3)
+    assert sim.truncated
+
+
+def test_truncated_flag_clear_on_complete_run():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run()
+    assert not sim.truncated
+
+
+def test_truncated_flag_clear_when_remaining_events_beyond_until():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.at(50.0, lambda: None)
+    sim.run(until=10.0, max_events=1)
+    # The only pending event lies past the horizon; the run within
+    # [0, until] is complete, not truncated.
+    assert not sim.truncated
+
+
+def test_truncated_flag_reset_by_next_run():
+    sim = Simulator()
+    for i in range(5):
+        sim.at(float(i), lambda: None)
+    sim.run(max_events=2)
+    assert sim.truncated
+    sim.run()
+    assert not sim.truncated
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    first = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_step_skips_cancelled_events():
+    sim = Simulator()
+    fired = []
+    victim = sim.at(1.0, fired.append, "cancelled")
+    sim.at(2.0, fired.append, "kept")
+    victim.cancel()
+    assert sim.step()
+    assert fired == ["kept"]
+    assert sim.now == 2.0
+    assert not sim.step()
+
+
+def test_equal_time_insertion_order_is_deterministic():
+    # Same schedule built twice fires identically: ties broken by
+    # insertion sequence, independent of callback identity.
+    def build_and_run():
+        sim = Simulator()
+        fired = []
+        for i in (3, 1, 4, 1, 5, 9, 2, 6):
+            sim.at(1.0, fired.append, i)
+        sim.at(1.0, lambda: fired.append("tail"))
+        sim.run()
+        return fired
+
+    assert build_and_run() == build_and_run() == [3, 1, 4, 1, 5, 9, 2, 6, "tail"]
+
+
 def test_not_reentrant():
     sim = Simulator()
 
