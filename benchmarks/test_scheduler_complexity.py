@@ -6,6 +6,13 @@ O(1); WFQ pays the fluid GPS simulation on top of its O(log Q) heap.
 These are real pytest-benchmark micro-benchmarks: each measures one
 enqueue+dequeue+complete cycle over a standing population of Q
 backlogged flows.
+
+``test_cost_flat_in_backlog_depth`` is the hard gate for the flow-head
+heap rewrite: with the flow count pinned, deepening every flow's
+backlog 10x must leave per-packet cost within 20% — the cost is
+O(log F) in backlogged *flows*, not O(log N) in queued *packets* (the
+seed core's global packet heap). Skipped under ``--benchmark-disable``
+(CI smoke mode).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import random
 import pytest
 
 from repro.core import DRR, FIFO, SCFQ, SFQ, FairAirport, VirtualClock, WFQ, Packet
+from repro.experiments.bench import _per_packet_seconds
 
 FLOW_COUNTS = [16, 256]
 
@@ -65,3 +73,35 @@ def test_per_packet_cost(benchmark, algorithm, n_flows):
 
     benchmark.group = f"per-packet cost, Q={n_flows}"
     benchmark(cycle)
+
+
+# ----------------------------------------------------------------------
+# Hard gate: cost is O(log F) in flows, not O(log N) in packets
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("algorithm", ["SFQ", "SCFQ", "VirtualClock"])
+def test_cost_flat_in_backlog_depth(request, algorithm):
+    """16 flows; growing per-flow backlog 4 -> 40 (total packets 64 ->
+    640) changes per-packet cost by <20%.
+
+    The seed core's global packet heap pays log(total backlog) per
+    operation plus a stale-uid skim; the flow-head heap compares only
+    the 16 flow heads regardless of queue depth.
+    """
+    if request.config.getoption("benchmark_disable"):
+        pytest.skip("timing assertions disabled in smoke mode")
+    factory = MAKERS[algorithm]
+    cycles = 20_000
+    repeats = 5
+    costs = {
+        backlog: min(
+            _per_packet_seconds(factory, 16, backlog, cycles)
+            for _ in range(repeats)
+        ) / cycles
+        for backlog in (4, 40)
+    }
+    ratio = costs[40] / costs[4]
+    assert ratio < 1.2, (
+        f"{algorithm}: per-packet cost grew {ratio:.2f}x when per-flow "
+        f"backlog grew 10x (must stay <1.2x): "
+        f"{costs[4] * 1e9:.0f}ns -> {costs[40] * 1e9:.0f}ns"
+    )

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against the committed ``BENCH_*.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/bench_compare.py            # run + compare
+    PYTHONPATH=src python scripts/bench_compare.py --fresh-dir /tmp/bench
+    PYTHONPATH=src python scripts/bench_compare.py --threshold 0.5
+
+Runs the full microbenchmark suite (``python -m repro bench``) into a
+scratch directory, then diffs every *optimized* wall-clock metric
+against the committed baseline at the repo root. Exits non-zero if any
+metric regressed by more than ``--threshold`` (default 0.30 = 30%).
+
+Only the optimized implementation is gated — the frozen seed numbers
+are context, not a contract. Improvements (negative regressions) are
+reported but never fail. Nanosecond metrics are compared as
+fresh/baseline; throughput metrics (``*_per_sec``) as baseline/fresh,
+so >1 + threshold always means "got slower".
+
+Absolute numbers are machine-dependent: comparing against a baseline
+produced on different hardware is meaningless. CI therefore runs the
+bench in ``--smoke`` mode only (rot check); this script is for
+developers re-baselining on one machine before and after a change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILES = ("BENCH_engine.json", "BENCH_schedulers.json")
+
+
+def _walk_metrics(payload, prefix=""):
+    """Yield (dotted_path, value) for every optimized timing metric."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (dict, list)):
+                yield from _walk_metrics(value, path)
+            elif key.startswith("optimized_") and (
+                key.endswith("_ns_per_event")
+                or key.endswith("_ns_per_packet")
+                or key.endswith("_pkts_per_sec")
+            ):
+                yield path, float(value)
+    elif isinstance(payload, list):
+        for i, value in enumerate(payload):
+            yield from _walk_metrics(value, f"{prefix}[{i}]")
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list:
+    """Return [(metric, baseline, fresh, regression_fraction), ...] for
+    metrics regressed beyond ``threshold``."""
+    fresh_metrics = dict(_walk_metrics(fresh))
+    failures = []
+    for path, base_value in _walk_metrics(baseline):
+        new_value = fresh_metrics.get(path)
+        if new_value is None or base_value <= 0:
+            continue  # layout drift or degenerate baseline: not a regression
+        if path.endswith("_pkts_per_sec"):
+            slowdown = base_value / new_value  # throughput: lower is worse
+        else:
+            slowdown = new_value / base_value  # latency: higher is worse
+        regression = slowdown - 1.0
+        status = "REGRESSED" if regression > threshold else "ok"
+        print(
+            f"{status:>9}  {path}: baseline={base_value:g} fresh={new_value:g} "
+            f"({regression:+.1%})"
+        )
+        if regression > threshold:
+            failures.append((path, base_value, new_value, regression))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="maximum allowed fractional slowdown (default 0.30)",
+    )
+    parser.add_argument(
+        "--fresh-dir", default=None,
+        help="directory with a fresh run's BENCH_*.json "
+             "(default: run the bench now into a temp dir)",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=str(REPO_ROOT),
+        help="directory with the baseline BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats when running the bench here (default 5)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.fresh_dir is None:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.experiments.bench import run_bench
+
+        fresh_dir = Path(tempfile.mkdtemp(prefix="bench_fresh_"))
+        print(f"running fresh benchmark into {fresh_dir} ...")
+        run_bench(smoke=False, output_dir=str(fresh_dir), repeats=args.repeats)
+    else:
+        fresh_dir = Path(args.fresh_dir)
+
+    baseline_dir = Path(args.baseline_dir)
+    all_failures = []
+    for name in BENCH_FILES:
+        base_path = baseline_dir / name
+        fresh_path = fresh_dir / name
+        if not base_path.exists():
+            print(f"missing baseline {base_path}; run `python -m repro bench` "
+                  "at the repo root and commit the result", file=sys.stderr)
+            return 2
+        if not fresh_path.exists():
+            print(f"missing fresh result {fresh_path}", file=sys.stderr)
+            return 2
+        baseline = json.loads(base_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        if baseline.get("mode") == "smoke" or fresh.get("mode") == "smoke":
+            print(f"{name}: smoke-mode numbers are not comparable", file=sys.stderr)
+            return 2
+        print(f"\n== {name} (threshold {args.threshold:.0%}) ==")
+        all_failures.extend(compare(baseline, fresh, args.threshold))
+
+    if all_failures:
+        print(f"\n{len(all_failures)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for path, base_value, new_value, regression in all_failures:
+            print(f"  {path}: {base_value:g} -> {new_value:g} "
+                  f"({regression:+.1%})", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

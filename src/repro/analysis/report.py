@@ -64,6 +64,65 @@ def _to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def _bench_section(root: Optional[Path] = None) -> Optional[str]:
+    """Render the measured O(log F) vs O(log N) scaling curve from the
+    committed ``BENCH_*.json`` (written by ``python -m repro bench``).
+
+    Returns None when the bench artifacts are absent (fresh checkout
+    before a bench run) — the report simply omits the section.
+    """
+    import json
+
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    sched_path = root / "BENCH_schedulers.json"
+    engine_path = root / "BENCH_engine.json"
+    if not sched_path.exists():
+        return None
+    sched = json.loads(sched_path.read_text())
+    if sched.get("mode") == "smoke":
+        return None
+    lines: List[str] = [
+        "## Scheduling cost: measured O(log F) vs O(log N)",
+        "",
+        "The paper's §2.5 complexity claim, measured on wall clock: "
+        "per-packet cost of the flow-head-heap core (one heap entry per "
+        f"backlogged flow, F={sched['flows']} flows fixed) stays flat as "
+        "per-flow backlog deepens, while the seed's global packet heap "
+        "pays O(log N) in total queued packets on every operation. "
+        "Min-of-repeats `perf_counter` timings of a steady-state "
+        "dequeue+complete+enqueue cycle; machine-dependent, compare "
+        "shapes not nanoseconds. Regenerate with `python -m repro bench`.",
+        "",
+        "| packets/flow | total packets N | seed ns/pkt (packet heap) | optimized ns/pkt (flow-head heap) |",
+        "|---|---|---|---|",
+    ]
+    for point in sched["sfq_backlog_curve"]:
+        lines.append(
+            f"| {point['per_flow_backlog']} | {point['total_packets']} "
+            f"| {point['seed_ns_per_packet']} "
+            f"| {point['optimized_ns_per_packet']} |"
+        )
+    if engine_path.exists():
+        engine = json.loads(engine_path.read_text())
+        if engine.get("mode") != "smoke":
+            d4096 = engine["dispatch"]["pending=4096"]
+            pipe = engine["pipeline"]
+            lines += [
+                "",
+                f"> engine fast loop: {d4096['speedup']}× cheaper dispatch at "
+                f"4096 pending events "
+                f"({d4096['seed_ns_per_event']} → "
+                f"{d4096['optimized_ns_per_event']} ns/event); end-to-end "
+                f"SFQ pipeline {pipe['speedup']}× packets/wall-second with "
+                "tracing disabled "
+                f"({pipe['seed_pkts_per_sec']} → "
+                f"{pipe['optimized_pkts_per_sec']} pkts/s)",
+            ]
+    lines.append("")
+    return "\n".join(lines)
+
+
 def generate_report(
     path: Optional[str] = None,
     experiments: Optional[Iterable[str]] = None,
@@ -98,6 +157,9 @@ def generate_report(
         elapsed = time.perf_counter() - start
         sections.append(_to_markdown(result))
         sections.append(f"*({elapsed:.2f}s simulated-experiment wall time)*\n")
+    bench = _bench_section()
+    if bench is not None:
+        sections.append(bench)
     markdown = "\n".join(sections)
     if path is not None:
         Path(path).write_text(markdown)

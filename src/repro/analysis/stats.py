@@ -51,7 +51,7 @@ def windowed_throughput(
         raise ValueError("window and horizon must be positive")
     n_windows = int(math.ceil(horizon / window))
     bits = [0] * n_windows
-    for record in tracer.departed(flow):
+    for record in tracer.iter_departed(flow):
         idx = int(record.departure / window)
         if idx < n_windows:
             bits[idx] += record.length

@@ -165,6 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--duration", type=float, default=None, help="simulated horizon (s)"
     )
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf microbenchmarks and write BENCH_*.json",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny op counts (CI rot-check); numbers are not comparable",
+    )
+    bench.add_argument(
+        "--output-dir", default=None,
+        help="directory for BENCH_*.json (default: current directory)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per measurement; min is reported (default 5)",
+    )
     report = sub.add_parser(
         "report", help="run the full evaluation and write a Markdown report"
     )
@@ -199,6 +215,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         width = max(len(n) for n in _RUNNERS)
         for name in sorted(_RUNNERS):
             print(f"{name:<{width}}  {_RUNNERS[name]}")
+        return 0
+    if args.command == "bench":
+        from repro.experiments.bench import run_bench
+
+        run_bench(
+            smoke=args.smoke, output_dir=args.output_dir, repeats=args.repeats
+        )
         return 0
     if args.command == "report":
         from repro.analysis.report import generate_report

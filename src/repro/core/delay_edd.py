@@ -14,19 +14,23 @@ hierarchical composition.
 
 The schedulability test (eq. 67) lives in
 :func:`repro.analysis.admission.delay_edd_schedulable`.
+
+Deadlines are monotone within a flow (EAT recursion plus a constant
+offset), so Delay EDD runs on the flow-head heap of
+:class:`repro.core.headheap.HeadHeapScheduler`.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable
 
-from repro.core.base import Scheduler, SchedulerError
+from repro.core.base import SchedulerError, TieBreak
 from repro.core.flow import FlowState
+from repro.core.headheap import HeadHeapScheduler
 from repro.core.packet import Packet
 
 
-class DelayEDD(Scheduler):
+class DelayEDD(HeadHeapScheduler):
     """Delay Earliest-Due-Date scheduler.
 
     Flows must be registered with :meth:`add_flow_with_deadline` (each
@@ -35,10 +39,19 @@ class DelayEDD(Scheduler):
 
     algorithm = "DelayEDD"
 
-    def __init__(self, auto_register: bool = False, default_weight: float = 1.0) -> None:
-        super().__init__(auto_register=auto_register, default_weight=default_weight)
+    def __init__(
+        self,
+        auto_register: bool = False,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            tie_break=TieBreak.fifo,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
         self.deadlines: Dict[Hashable, float] = {}
-        self._heap: List[Tuple] = []
 
     def add_flow_with_deadline(
         self, flow_id: Hashable, rate: float, deadline: float
@@ -51,7 +64,7 @@ class DelayEDD(Scheduler):
         self.deadlines[flow_id] = float(deadline)
         return state
 
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         deadline_offset = self.deadlines.get(packet.flow)
         if deadline_offset is None:
             raise SchedulerError(
@@ -61,17 +74,7 @@ class DelayEDD(Scheduler):
         eat = state.eat.on_arrival(now, packet.length, rate)
         packet.deadline = eat + deadline_offset
         packet.start_tag = eat
-        state.push(packet)
-        heapq.heappush(self._heap, (packet.deadline, packet.uid, packet))
+        return packet.deadline
 
-    def _do_dequeue(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        _deadline, _uid, packet = heapq.heappop(self._heap)
-        state = self.flows[packet.flow]
-        popped = state.pop()
-        assert popped is packet, "per-flow FIFO must match deadline order"
-        return packet
-
-    def peek(self, now: float) -> Optional[Packet]:
-        return self._heap[0][2] if self._heap else None
+    def _head_key(self, packet: Packet) -> float:
+        return packet.deadline

@@ -6,6 +6,20 @@ flow's weight (interpreted as its rate :math:`r_f` in bits/s, Section
 eq. 4), the FIFO backlog of queued packets, and service accounting used
 by the fairness analysis.
 
+Two hot-path caches live here as well:
+
+* ``inv_weight`` — the precomputed :math:`1/r_f`, kept in sync with
+  ``weight`` by a property setter. Consumers that tolerate reciprocal
+  rounding (e.g. the fairness monitor's normalized-service accounting,
+  whose bound checks carry explicit slack) multiply by it instead of
+  dividing per packet. Tag computation deliberately does *not* use it:
+  ``l * (1/r)`` and ``l / r`` differ in ulps for non-dyadic rates, and
+  the trace-equivalence suite requires schedules byte-identical to the
+  seed core's;
+* ``heap_entry`` / ``tie_keys`` — scratch used by
+  :class:`repro.core.headheap.HeadHeapScheduler` to track this flow's
+  entry in the flow-head heap.
+
 The expected-arrival-time (EAT) tracker of eq. 37 also lives here since
 Virtual Clock, Delay EDD and the delay-bound analysis all need it:
 
@@ -53,7 +67,8 @@ class FlowState:
 
     __slots__ = (
         "flow_id",
-        "weight",
+        "_weight",
+        "inv_weight",
         "queue",
         "last_finish",
         "max_length_seen",
@@ -62,13 +77,16 @@ class FlowState:
         "packets_served",
         "eat",
         "user",
+        "heap_entry",
+        "tie_keys",
     )
 
     def __init__(self, flow_id: Hashable, weight: float) -> None:
         if weight <= 0:
             raise ValueError(f"flow weight must be positive, got {weight}")
         self.flow_id = flow_id
-        self.weight = float(weight)
+        self._weight = float(weight)
+        self.inv_weight = 1.0 / self._weight
         self.queue: Deque[Packet] = deque()
         # Finish tag of the last arrived packet: F(p_f^0) = 0 per the paper.
         self.last_finish = 0.0
@@ -78,6 +96,23 @@ class FlowState:
         self.packets_served = 0
         self.eat = EATTracker()
         self.user: Optional[object] = None  # scheduler-specific scratch
+        #: Live flow-head heap entry (HeadHeapScheduler scratch), or None.
+        self.heap_entry: Optional[list] = None
+        #: Parallel deque of tie-break keys (non-FIFO tie rules only).
+        self.tie_keys: Optional[Deque] = None
+
+    @property
+    def weight(self) -> float:
+        """Flow rate :math:`r_f` (bits/s); assignment refreshes ``inv_weight``."""
+        return self._weight
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        value = float(value)
+        if value <= 0:
+            raise ValueError(f"flow weight must be positive, got {value}")
+        self._weight = value
+        self.inv_weight = 1.0 / value
 
     # ------------------------------------------------------------------
     # Queue operations
@@ -108,7 +143,7 @@ class FlowState:
 
     def packet_rate(self, packet: Packet) -> float:
         """Rate assigned to ``packet``: its own rate or the flow weight."""
-        return packet.rate if packet.rate is not None else self.weight
+        return packet.rate if packet.rate is not None else self._weight
 
     def record_service(self, packet: Packet) -> None:
         self.bits_served += packet.length
@@ -116,6 +151,6 @@ class FlowState:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"FlowState({self.flow_id!r}, w={self.weight:.9g}, "
+            f"FlowState({self.flow_id!r}, w={self._weight:.9g}, "
             f"backlog={len(self.queue)}p, F_prev={self.last_finish:.9g})"
         )

@@ -1,0 +1,211 @@
+"""Flow-head heaps: shared O(log F) machinery for all tag schedulers.
+
+The paper sells SFQ on complexity — :math:`O(\\log Q)` per packet where
+*Q is the number of flows* — but a naive implementation (and this
+repo's seed core, preserved under ``tests/reference/``) keeps one global
+heap of *packets*, so every operation costs :math:`O(\\log N)` in total
+backlog and ``discard_tail`` needs a stale-uid set that the dequeue path
+must skim on every pop.
+
+The key structural fact that rescues the paper's bound: **within one
+flow, scheduling tags are monotone**. Arrivals are FIFO per flow, and
+every discipline in this library chains its tag off the previous
+packet's (eq. 4's ``max{v, F(prev)}`` for SFQ/SCFQ/WFQ/FQS, the EAT
+recursion of eq. 37 for Virtual Clock and Delay EDD), so a flow's
+earliest-tag packet is always its FIFO head. The scheduler therefore
+only ever needs to compare the *head packet of each backlogged flow*:
+
+* per-flow FIFO queues hold the backlog (``FlowState.queue``);
+* one heap holds at most one entry per backlogged flow — the flow's
+  head packet keyed by ``(tag, tie_key, uid)``, exactly the key the
+  seed's packet heap used, so the service order is identical;
+* enqueue/dequeue are ``O(log F)`` in *backlogged flows*, independent of
+  per-flow backlog depth;
+* ``discard_tail`` is ``O(1)``: the victim is the FIFO tail, which is
+  in the head heap only when it is the flow's sole packet — in that
+  case the flow's live entry is lazily invalidated in place (no
+  unbounded ``_discarded`` set, no skimming loop proportional to
+  discards).
+
+Invariants (exercised by ``tests/test_trace_equivalence.py`` and, under
+``debug_checks=True``, re-checked on every dequeue):
+
+1. a flow has a live ``heap_entry`` iff it is backlogged, and that entry
+   references its current FIFO head;
+2. heap order ``(tag, tie_key, uid)`` equals the seed core's global
+   packet-heap order, because per-flow tag monotonicity makes the head
+   the flow's minimum;
+3. invalidated entries (``entry[3] is None``) are purged lazily at the
+   next dequeue/peek and never outnumber the flows that discarded their
+   sole packet since the last dequeue.
+
+``debug_checks`` replaces the seed core's per-dequeue ``assert`` (which
+ran even under ``python -O`` ... actually it *disappeared* under ``-O``
+— the worst of both worlds): by default the hot path performs no check,
+and with ``debug_checks=True`` a violated invariant raises
+:class:`~repro.core.base.SchedulerError` deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.base import Scheduler, SchedulerError, TieBreak
+from repro.core.flow import FlowState
+from repro.core.packet import Packet
+
+TieBreakRule = Callable[[FlowState, Packet], Tuple]
+
+__all__ = ["HeadHeapScheduler"]
+
+
+class HeadHeapScheduler(Scheduler):
+    """Base class for tag schedulers built on a heap of flow heads.
+
+    Subclasses implement:
+
+    ``_tag_packet(state, packet, now) -> float``
+        Stamp the packet's tags (arrival-time work) and return the
+        scalar scheduling key.
+    ``_head_key(packet) -> float``
+        Read the scheduling key back off an already-tagged packet (used
+        when a queued packet becomes its flow's head).
+    ``_on_dequeued(state, packet)``
+        Optional virtual-time bookkeeping once a packet is selected.
+
+    Heap entries are 5-slot lists ``[key, tie_key, uid, packet, state]``;
+    ``uid`` is unique so comparisons never reach the packet. A lazily
+    invalidated entry has ``entry[3] is None``.
+    """
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self._tie_break = tie_break
+        self._fifo_ties = tie_break is TieBreak.fifo
+        #: Heap of live flow-head entries (at most one per backlogged flow).
+        self._head_heap: List[list] = []
+        #: When True, re-verify the head-heap/FIFO invariant per dequeue
+        #: and raise SchedulerError on corruption (seed behavior: assert).
+        self.debug_checks = bool(debug_checks)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
+        """Stamp tags on an arriving packet; return its scheduling key."""
+        raise NotImplementedError
+
+    def _head_key(self, packet: Packet) -> float:
+        """Scheduling key of an already-tagged packet."""
+        raise NotImplementedError
+
+    def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
+        """Virtual-time bookkeeping hook; default no-op."""
+
+    # ------------------------------------------------------------------
+    # Scheduler protocol
+    # ------------------------------------------------------------------
+    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+        key = self._tag_packet(state, packet, now)
+        queue = state.queue
+        queue.append(packet)
+        length = packet.length
+        state.bits_enqueued += length
+        if length > state.max_length_seen:
+            state.max_length_seen = length
+        if self._fifo_ties:
+            tie: Tuple = ()
+        else:
+            tie = self._tie_break(state, packet)
+            keys = state.tie_keys
+            if keys is None:
+                keys = state.tie_keys = deque()
+            keys.append(tie)
+        if len(queue) == 1:
+            # The flow just became backlogged: its head enters the heap.
+            entry = [key, tie, packet.uid, packet, state]
+            state.heap_entry = entry
+            heapq.heappush(self._head_heap, entry)
+
+    def _pop_min_entry(self) -> Optional[list]:
+        """Pop the live minimum entry, purging invalidated ones."""
+        heap = self._head_heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[3] is not None:
+                return entry
+        return None
+
+    def _consume_entry(self, entry: list) -> Packet:
+        """Dequeue the entry's packet and re-offer the flow's next head."""
+        packet = entry[3]
+        state = entry[4]
+        state.heap_entry = None
+        queue = state.queue
+        head = queue.popleft()
+        if self.debug_checks and head is not packet:
+            raise SchedulerError(
+                f"{self.algorithm} internal error: flow {state.flow_id!r} "
+                "FIFO head diverged from its head-heap entry"
+            )
+        if self._fifo_ties:
+            if queue:
+                nxt = queue[0]
+                fresh = [self._head_key(nxt), (), nxt.uid, nxt, state]
+                state.heap_entry = fresh
+                heapq.heappush(self._head_heap, fresh)
+        else:
+            keys = state.tie_keys
+            keys.popleft()
+            if queue:
+                nxt = queue[0]
+                fresh = [self._head_key(nxt), keys[0], nxt.uid, nxt, state]
+                state.heap_entry = fresh
+                heapq.heappush(self._head_heap, fresh)
+        return packet
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        entry = self._pop_min_entry()
+        if entry is None:
+            return None
+        state = entry[4]
+        packet = self._consume_entry(entry)
+        self._on_dequeued(state, packet)
+        return packet
+
+    def peek(self, now: float) -> Optional[Packet]:
+        """Packet the next ``dequeue`` would return (no side effects)."""
+        heap = self._head_heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        return heap[0][3] if heap else None
+
+    # ------------------------------------------------------------------
+    # discard_tail support (O(1))
+    # ------------------------------------------------------------------
+    def _pop_tail(self, state: FlowState) -> Packet:
+        """Remove a flow's FIFO tail; invalidate its entry if now empty.
+
+        The tail is in the head heap only when it is the flow's sole
+        packet; in that case the live entry is invalidated in place and
+        reaped lazily by the next dequeue/peek.
+        """
+        queue = state.queue
+        packet = queue.pop()
+        if not self._fifo_ties and state.tie_keys:
+            state.tie_keys.pop()
+        if not queue:
+            entry = state.heap_entry
+            if entry is not None:
+                entry[3] = None
+                entry[4] = None
+                state.heap_entry = None
+        return packet

@@ -91,7 +91,15 @@ class SchedClass:
         assert packet is not None, "a scheduled child must hold an offer"
         child.offered = None
         child.offer_wrapper = None
-        packet.meta.setdefault("hier_path", []).append((self, wrapper))
+        # Hot path: reach the meta dict directly (the ``meta`` property
+        # plus setdefault costs two extra calls per hop per packet).
+        meta = packet._meta_dict
+        if meta is None:
+            meta = packet._meta_dict = {}
+        path = meta.get("hier_path")
+        if path is None:
+            path = meta["hier_path"] = []
+        path.append((self, wrapper))
         self._refill(child, now)
         return packet
 

@@ -10,79 +10,79 @@ Its fairness measure equals SFQ's,
 :math:`l_f^j/r_f^j - l_f^j/C` (paper eq. 56–57) — the property the
 delay-bound benchmarks quantify (24.4 ms for a 64 Kb/s flow with 200-byte
 packets on a 100 Mb/s link).
+
+Like every tag scheduler here, SCFQ runs on the flow-head heap of
+:class:`repro.core.headheap.HeadHeapScheduler` (finish tags are monotone
+within a flow), so per-packet cost is logarithmic in backlogged flows.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Optional
 
-from repro.core.base import Scheduler, TieBreak
+from repro.core.base import TieBreak
 from repro.core.flow import FlowState
+from repro.core.headheap import HeadHeapScheduler, TieBreakRule
 from repro.core.packet import Packet
 
 
-class SCFQ(Scheduler):
+class SCFQ(HeadHeapScheduler):
     """Self-Clocked Fair Queuing."""
 
     algorithm = "SCFQ"
 
     def __init__(
         self,
-        tie_break: Callable[[FlowState, Packet], Tuple] = TieBreak.fifo,
+        tie_break: TieBreakRule = TieBreak.fifo,
         auto_register: bool = True,
         default_weight: float = 1.0,
+        debug_checks: bool = False,
     ) -> None:
-        super().__init__(auto_register=auto_register, default_weight=default_weight)
-        self._tie_break = tie_break
-        self._heap: List[Tuple] = []
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
         self.v = 0.0
         self._max_served_finish = 0.0
-        self._discarded: set = set()
 
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
-        rate = state.packet_rate(packet)
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         start = max(self.v, state.last_finish)
-        finish = start + packet.length / rate
+        # Divide (don't multiply by the cached ``inv_weight``): l/r and
+        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
+        # tags would then break differently from the seed core, flipping
+        # the service order. Byte-identical schedules require the seed's
+        # exact arithmetic.
+        rate = packet.rate
+        finish = start + packet.length / (state._weight if rate is None else rate)
         packet.start_tag = start
         packet.finish_tag = finish
         state.last_finish = finish
-        state.push(packet)
-        key = self._tie_break(state, packet)
-        heapq.heappush(self._heap, (finish, key, packet.uid, packet))
+        return finish
 
-    def _do_dequeue(self, now: float) -> Optional[Packet]:
-        while self._heap and self._heap[0][2] in self._discarded:
-            self._discarded.discard(heapq.heappop(self._heap)[2])
-        if not self._heap:
-            return None
-        finish, _key, _uid, packet = heapq.heappop(self._heap)
-        state = self.flows[packet.flow]
-        popped = state.pop()
-        assert popped is packet, "per-flow FIFO must match global tag order"
+    def _head_key(self, packet: Packet) -> float:
+        return packet.finish_tag
+
+    def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
         # Self-clocking: v(t) approximates GPS round number with the
         # finish tag of the packet in service.
+        finish = packet.finish_tag
         self.v = finish
         if finish > self._max_served_finish:
             self._max_served_finish = finish
-        return packet
 
     def _do_service_complete(self, packet: Packet, now: float) -> None:
         if self._backlog_packets == 0:
             self.v = max(self.v, self._max_served_finish)
 
     def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
-        packet = state.queue.pop()
-        self._discarded.add(packet.uid)
+        packet = self._pop_tail(state)
         tail = state.queue[-1] if state.queue else None
         state.last_finish = tail.finish_tag if tail is not None else packet.start_tag
         return packet
 
-    def peek(self, now: float) -> Optional[Packet]:
-        while self._heap and self._heap[0][2] in self._discarded:
-            self._discarded.discard(heapq.heappop(self._heap)[2])
-        return self._heap[0][3] if self._heap else None
-
     @property
     def virtual_time(self) -> float:
+        """Current system virtual time ``v(t)``."""
         return self.v

@@ -27,22 +27,22 @@ Properties reproduced by the test/bench suite:
 * throughput guarantee on FC/EBF servers (Theorems 2–3);
 * delay guarantee :math:`L(p) \\le EAT(p) + \\sum_{n \\ne f} l_n^{max}/C +
   l_f^j/C + \\delta(C)/C` (Theorems 4–5);
-* :math:`O(\\log Q)` per-packet cost.
+* :math:`O(\\log Q)` per-packet cost — realized here by the flow-head
+  heap of :class:`repro.core.headheap.HeadHeapScheduler`, which keeps
+  per-packet work logarithmic in *backlogged flows*, not total backlog.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Optional
 
-from repro.core.base import Scheduler, TieBreak
+from repro.core.base import TieBreak
 from repro.core.flow import FlowState
+from repro.core.headheap import HeadHeapScheduler, TieBreakRule
 from repro.core.packet import Packet
 
-TieBreakRule = Callable[[FlowState, Packet], Tuple]
 
-
-class SFQ(Scheduler):
+class SFQ(HeadHeapScheduler):
     """Start-time Fair Queuing.
 
     Parameters
@@ -51,6 +51,11 @@ class SFQ(Scheduler):
         Secondary sort key for packets with equal start tags; one of the
         rules in :class:`repro.core.base.TieBreak` or any callable
         ``(FlowState, Packet) -> tuple``.
+    debug_checks:
+        When True, re-verify the flow-head-heap invariant on every
+        dequeue (raising :class:`~repro.core.base.SchedulerError` on
+        corruption). Off by default — the invariant is structural and
+        exercised by the trace-equivalence suite.
     """
 
     algorithm = "SFQ"
@@ -60,45 +65,43 @@ class SFQ(Scheduler):
         tie_break: TieBreakRule = TieBreak.fifo,
         auto_register: bool = True,
         default_weight: float = 1.0,
+        debug_checks: bool = False,
     ) -> None:
-        super().__init__(auto_register=auto_register, default_weight=default_weight)
-        self._tie_break = tie_break
-        # Heap entries: (start_tag, tie_key, uid, packet). The uid keeps
-        # comparison total and preserves FIFO order among equal keys.
-        self._heap: List[Tuple] = []
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
         self.v = 0.0  # system virtual time v(t)
         self._max_served_finish = 0.0
-        # Packets removed by discard_tail; their heap entries are stale.
-        self._discarded: set = set()
 
     # ------------------------------------------------------------------
-    # Scheduler protocol
+    # HeadHeapScheduler hooks
     # ------------------------------------------------------------------
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
-        rate = state.packet_rate(packet)
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         start = max(self.v, state.last_finish)
-        finish = start + packet.length / rate
+        # Divide (don't multiply by the cached ``inv_weight``): l/r and
+        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
+        # tags would then break differently from the seed core, flipping
+        # the service order. Byte-identical schedules require the seed's
+        # exact arithmetic.
+        rate = packet.rate
+        finish = start + packet.length / (state._weight if rate is None else rate)
         packet.start_tag = start
         packet.finish_tag = finish
         state.last_finish = finish
-        state.push(packet)
-        key = self._tie_break(state, packet)
-        heapq.heappush(self._heap, (start, key, packet.uid, packet))
+        return start
 
-    def _do_dequeue(self, now: float) -> Optional[Packet]:
-        while self._heap and self._heap[0][2] in self._discarded:
-            self._discarded.discard(heapq.heappop(self._heap)[2])
-        if not self._heap:
-            return None
-        start, _key, _uid, packet = heapq.heappop(self._heap)
-        state = self.flows[packet.flow]
-        popped = state.pop()
-        assert popped is packet, "per-flow FIFO must match global tag order"
+    def _head_key(self, packet: Packet) -> float:
+        return packet.start_tag
+
+    def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
         # Rule 2: v(t) is the start tag of the packet in service.
-        self.v = start
-        if packet.finish_tag is not None and packet.finish_tag > self._max_served_finish:
-            self._max_served_finish = packet.finish_tag
-        return packet
+        self.v = packet.start_tag
+        finish = packet.finish_tag
+        if finish is not None and finish > self._max_served_finish:
+            self._max_served_finish = finish
 
     def _do_service_complete(self, packet: Packet, now: float) -> None:
         if self._backlog_packets == 0:
@@ -107,18 +110,12 @@ class SFQ(Scheduler):
             self.v = max(self.v, self._max_served_finish)
 
     def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
-        packet = state.queue.pop()
-        self._discarded.add(packet.uid)
+        packet = self._pop_tail(state)
         # Re-chain future arrivals off the new tail so no virtual-time
         # gap is left where the discarded packet sat.
         tail = state.queue[-1] if state.queue else None
         state.last_finish = tail.finish_tag if tail is not None else packet.start_tag
         return packet
-
-    def peek(self, now: float) -> Optional[Packet]:
-        while self._heap and self._heap[0][2] in self._discarded:
-            self._discarded.discard(heapq.heappop(self._heap)[2])
-        return self._heap[0][3] if self._heap else None
 
     @property
     def virtual_time(self) -> float:

@@ -7,34 +7,40 @@ delay guarantee as WFQ but is *unfair*: a flow that used idle bandwidth
 is punished later (its clock ran ahead), which is why the paper classes
 it with the real-time-but-unfair algorithms. It reappears as the
 Guaranteed Service Queue of the Fair Airport scheduler (Appendix B).
+
+EAT (and therefore the stamp) is monotone within a flow, so Virtual
+Clock runs on the flow-head heap of
+:class:`repro.core.headheap.HeadHeapScheduler`.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
-
-from repro.core.base import Scheduler, TieBreak
+from repro.core.base import TieBreak
 from repro.core.flow import FlowState
+from repro.core.headheap import HeadHeapScheduler, TieBreakRule
 from repro.core.packet import Packet
 
 
-class VirtualClock(Scheduler):
+class VirtualClock(HeadHeapScheduler):
     """Virtual Clock scheduler."""
 
     algorithm = "VirtualClock"
 
     def __init__(
         self,
-        tie_break: Callable[[FlowState, Packet], Tuple] = TieBreak.fifo,
+        tie_break: TieBreakRule = TieBreak.fifo,
         auto_register: bool = True,
         default_weight: float = 1.0,
+        debug_checks: bool = False,
     ) -> None:
-        super().__init__(auto_register=auto_register, default_weight=default_weight)
-        self._tie_break = tie_break
-        self._heap: List[Tuple] = []
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
 
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         rate = state.packet_rate(packet)
         eat = state.eat.on_arrival(now, packet.length, rate)
         stamp = eat + packet.length / rate
@@ -42,18 +48,7 @@ class VirtualClock(Scheduler):
         # Keep tags populated for uniform trace analysis.
         packet.start_tag = eat
         packet.finish_tag = stamp
-        state.push(packet)
-        key = self._tie_break(state, packet)
-        heapq.heappush(self._heap, (stamp, key, packet.uid, packet))
+        return stamp
 
-    def _do_dequeue(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        _stamp, _key, _uid, packet = heapq.heappop(self._heap)
-        state = self.flows[packet.flow]
-        popped = state.pop()
-        assert popped is packet, "per-flow FIFO must match stamp order"
-        return packet
-
-    def peek(self, now: float) -> Optional[Packet]:
-        return self._heap[0][3] if self._heap else None
+    def _head_key(self, packet: Packet) -> float:
+        return packet.timestamp

@@ -17,21 +17,29 @@ self-clocking (no capacity assumption) at O(log Q).
 If no packet is eligible at a dequeue instant (possible because the
 real server can run ahead of the fluid system), the packet with the
 smallest start tag is served — the standard work-conserving fallback
-(this makes the discipline WF2Q-like rather than idling).
+(this makes the discipline WF2Q-like rather than idling). Ties in the
+fallback are broken by packet uid (arrival order), which is
+deterministic; the pre-flow-head-heap core broke them by internal heap
+layout.
+
+Eligibility only ever needs to inspect flow heads: within a flow both
+start and finish tags are monotone, so if any queued packet of a flow is
+eligible its head is too, with a smaller finish tag. WF²Q therefore
+shelves/restores at most one entry per backlogged flow per dequeue.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.core.base import Scheduler
 from repro.core.flow import FlowState
 from repro.core.gps import GPSVirtualClock
+from repro.core.headheap import HeadHeapScheduler
 from repro.core.packet import Packet
 
 
-class WF2Q(Scheduler):
+class WF2Q(HeadHeapScheduler):
     """Worst-case Fair Weighted Fair Queueing (work-conserving variant)."""
 
     algorithm = "WF2Q"
@@ -41,60 +49,79 @@ class WF2Q(Scheduler):
         assumed_capacity: float,
         auto_register: bool = True,
         default_weight: float = 1.0,
+        debug_checks: bool = False,
     ) -> None:
-        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        super().__init__(
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
         self.gps = GPSVirtualClock(assumed_capacity)
-        # Heap of (finish, uid, packet) — scanned for eligibility.
-        self._heap: List[Tuple[float, int, Packet]] = []
 
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         v = self.gps.advance(now)
-        rate = state.packet_rate(packet)
         start = max(v, state.last_finish)
-        finish = start + packet.length / rate
+        # Divide (don't multiply by the cached ``inv_weight``): l/r and
+        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
+        # tags would then break differently from the seed core, flipping
+        # the service order. Byte-identical schedules require the seed's
+        # exact arithmetic.
+        rate = packet.rate
+        finish = start + packet.length / (state._weight if rate is None else rate)
         packet.start_tag = start
         packet.finish_tag = finish
         state.last_finish = finish
-        state.push(packet)
         self.gps.on_arrival(packet.flow, state.weight, finish)
-        heapq.heappush(self._heap, (finish, packet.uid, packet))
+        return finish
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.finish_tag
 
     def _do_dequeue(self, now: float) -> Optional[Packet]:
-        if not self._heap:
+        heap = self._head_heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        if not heap:
             return None
         v = self.gps.advance(now)
-        # Pop ineligible heads aside until an eligible packet surfaces.
-        shelved: List[Tuple[float, int, Packet]] = []
-        chosen: Optional[Packet] = None
-        while self._heap:
-            finish, uid, packet = heapq.heappop(self._heap)
+        # Pop ineligible flow heads aside until an eligible one surfaces.
+        shelved: List[list] = []
+        chosen: Optional[list] = None
+        while heap:
+            entry = heapq.heappop(heap)
+            packet = entry[3]
+            if packet is None:
+                continue
             if packet.start_tag is not None and packet.start_tag <= v + 1e-12:
-                chosen = packet
+                chosen = entry
                 break
-            shelved.append((finish, uid, packet))
-        for entry in shelved:
-            heapq.heappush(self._heap, entry)
+            shelved.append(entry)
         if chosen is None:
-            # Work-conserving fallback: smallest start tag.
-            chosen = min(
-                (entry[2] for entry in self._heap), key=lambda p: p.start_tag
-            )
-            self._heap = [e for e in self._heap if e[2] is not chosen]
-            heapq.heapify(self._heap)
-        state = self.flows[chosen.flow]
-        popped = state.pop()
-        assert popped is chosen, "per-flow FIFO must match tag order"
-        return chosen
+            # Work-conserving fallback: smallest start tag, ties by uid.
+            chosen = min(shelved, key=lambda e: (e[3].start_tag, e[2]))
+            for entry in shelved:
+                if entry is not chosen:
+                    heapq.heappush(heap, entry)
+        else:
+            for entry in shelved:
+                heapq.heappush(heap, entry)
+        return self._consume_entry(chosen)
 
     def peek(self, now: float) -> Optional[Packet]:
-        if not self._heap:
+        """Packet the next ``dequeue`` would return (no side effects)."""
+        heap = self._head_heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        if not heap:
             return None
         v = self.gps.advance(now)
-        eligible = [p for _f, _u, p in self._heap if p.start_tag <= v + 1e-12]
+        live = [e for e in heap if e[3] is not None]
+        eligible = [e for e in live if e[3].start_tag <= v + 1e-12]
         if eligible:
-            return min(eligible, key=lambda p: (p.finish_tag, p.uid))
-        return min((p for _f, _u, p in self._heap), key=lambda p: p.start_tag)
+            return min(eligible, key=lambda e: (e[3].finish_tag, e[2]))[3]
+        return min(live, key=lambda e: (e[3].start_tag, e[2]))[3]
 
     @property
     def virtual_time(self) -> float:
+        """Fluid GPS virtual time at the last advance."""
         return self.gps.v

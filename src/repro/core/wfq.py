@@ -13,20 +13,22 @@ The paper's critique, reproduced by our benchmarks:
 * it requires the real-time fluid simulation (expensive); and
 * it is built on an assumed constant capacity, so it is unfair on
   variable-rate servers (Example 2, Figure 1(b)).
+
+Both WFQ and FQS run on the flow-head heap of
+:class:`repro.core.headheap.HeadHeapScheduler`; the fluid GPS tracker
+remains their dominant per-packet cost.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, List, Optional, Tuple
-
-from repro.core.base import Scheduler, TieBreak
+from repro.core.base import TieBreak
 from repro.core.flow import FlowState
 from repro.core.gps import GPSVirtualClock
+from repro.core.headheap import HeadHeapScheduler, TieBreakRule
 from repro.core.packet import Packet
 
 
-class WFQ(Scheduler):
+class WFQ(HeadHeapScheduler):
     """Weighted Fair Queuing (packet-by-packet GPS).
 
     Parameters
@@ -42,39 +44,42 @@ class WFQ(Scheduler):
     def __init__(
         self,
         assumed_capacity: float,
-        tie_break: Callable[[FlowState, Packet], Tuple] = TieBreak.fifo,
+        tie_break: TieBreakRule = TieBreak.fifo,
         auto_register: bool = True,
         default_weight: float = 1.0,
+        debug_checks: bool = False,
     ) -> None:
-        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
         self.gps = GPSVirtualClock(assumed_capacity)
-        self._tie_break = tie_break
-        self._heap: List[Tuple] = []
 
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
+    def _stamp(self, state: FlowState, packet: Packet, now: float) -> float:
+        """Shared WFQ/FQS arrival work: advance GPS, stamp both tags."""
         v = self.gps.advance(now)
-        rate = state.packet_rate(packet)
         start = max(v, state.last_finish)
-        finish = start + packet.length / rate
+        # Divide (don't multiply by the cached ``inv_weight``): l/r and
+        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
+        # tags would then break differently from the seed core, flipping
+        # the service order. Byte-identical schedules require the seed's
+        # exact arithmetic.
+        rate = packet.rate
+        finish = start + packet.length / (state._weight if rate is None else rate)
         packet.start_tag = start
         packet.finish_tag = finish
         state.last_finish = finish
-        state.push(packet)
         self.gps.on_arrival(packet.flow, state.weight, finish)
-        key = self._tie_break(state, packet)
-        heapq.heappush(self._heap, (finish, key, packet.uid, packet))
+        return start
 
-    def _do_dequeue(self, now: float) -> Optional[Packet]:
-        if not self._heap:
-            return None
-        _finish, _key, _uid, packet = heapq.heappop(self._heap)
-        state = self.flows[packet.flow]
-        popped = state.pop()
-        assert popped is packet, "per-flow FIFO must match global tag order"
-        return packet
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
+        self._stamp(state, packet, now)
+        return packet.finish_tag
 
-    def peek(self, now: float) -> Optional[Packet]:
-        return self._heap[0][3] if self._heap else None
+    def _head_key(self, packet: Packet) -> float:
+        return packet.finish_tag
 
     @property
     def virtual_time(self) -> float:
@@ -93,15 +98,8 @@ class FQS(WFQ):
 
     algorithm = "FQS"
 
-    def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
-        v = self.gps.advance(now)
-        rate = state.packet_rate(packet)
-        start = max(v, state.last_finish)
-        finish = start + packet.length / rate
-        packet.start_tag = start
-        packet.finish_tag = finish
-        state.last_finish = finish
-        state.push(packet)
-        self.gps.on_arrival(packet.flow, state.weight, finish)
-        key = self._tie_break(state, packet)
-        heapq.heappush(self._heap, (start, key, packet.uid, packet))
+    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
+        return self._stamp(state, packet, now)
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.start_tag

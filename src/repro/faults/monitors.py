@@ -168,8 +168,16 @@ class FairnessMonitor(Monitor):
         self.max_gap_pair: Optional[Tuple[Hashable, Hashable]] = None
         self._outstanding: Dict[Hashable, int] = {}
         self._weight: Dict[Hashable, float] = {}
+        # Cached reciprocals (FlowState.inv_weight): _credit runs once
+        # per departed packet, and the bound check carries explicit
+        # slack, so a multiply is safe where the schedulers' tag math
+        # is not.
+        self._inv_weight: Dict[Hashable, float] = {}
         self._max_len: Dict[Hashable, int] = {}
         self._pairs: Dict[Tuple[Hashable, Hashable], _PairState] = {}
+        # Per-flow index over _pairs so _credit touches only the pairs
+        # the served flow participates in, not all O(flows^2) of them.
+        self._flow_pairs: Dict[Hashable, Dict[Tuple[Hashable, Hashable], _PairState]] = {}
         self._admitted: Set[int] = set()  # uids currently in the link
         self._last_departure = float("-inf")
         link.arrival_hooks.append(self._on_arrival)
@@ -191,12 +199,14 @@ class FairnessMonitor(Monitor):
                 # nothing to normalize by — skip this flow.
                 return
             self._weight[flow] = state.weight
+            self._inv_weight[flow] = state.inv_weight
             self._max_len[flow] = 0
             self._outstanding[flow] = 0
         else:
             state = self.link.scheduler.flows.get(flow)
             if state is not None:
                 self._weight[flow] = state.weight
+                self._inv_weight[flow] = state.inv_weight
         if packet.length > self._max_len[flow]:
             self._max_len[flow] = packet.length
         self._admitted.add(packet.uid)
@@ -207,7 +217,11 @@ class FairnessMonitor(Monitor):
             for other, count in self._outstanding.items():
                 if other == flow or count == 0:
                     continue
-                self._pairs[self._key(flow, other)] = _PairState(now)
+                key = self._key(flow, other)
+                pair = _PairState(now)
+                self._pairs[key] = pair
+                self._flow_pairs.setdefault(flow, {})[key] = pair
+                self._flow_pairs.setdefault(other, {})[key] = pair
 
     def _on_departure(self, packet: Packet, now: float) -> None:
         # A packet counts toward an interval only if it started service
@@ -244,10 +258,11 @@ class FairnessMonitor(Monitor):
         self, flow: Hashable, length: int, started_lb: float, now: float
     ) -> None:
         """Post ``length`` bits of service for ``flow`` to every open pair."""
-        normalized = length / self._weight[flow]
-        for (a, b), pair in self._pairs.items():
-            if flow != a and flow != b:
-                continue
+        normalized = length * self._inv_weight[flow]
+        pairs = self._flow_pairs.get(flow)
+        if not pairs:
+            return
+        for (a, b), pair in pairs.items():
             if started_lb < pair.since - 1e-12:
                 continue  # packet predates this common-backlog span
             pair.d += normalized if flow == a else -normalized
@@ -276,8 +291,15 @@ class FairnessMonitor(Monitor):
         self._outstanding[flow] -= 1
         if self._outstanding[flow] == 0:
             # Backlog span over: close every pair involving this flow.
-            for key in [k for k in self._pairs if flow in k]:
-                del self._pairs[key]
+            closed = self._flow_pairs.pop(flow, None)
+            if closed:
+                for key in closed:
+                    del self._pairs[key]
+                    a, b = key
+                    other = b if a == flow else a
+                    other_pairs = self._flow_pairs.get(other)
+                    if other_pairs is not None:
+                        other_pairs.pop(key, None)
 
     @staticmethod
     def _key(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]:

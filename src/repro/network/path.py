@@ -70,7 +70,7 @@ class Tandem:
                 return
             clone = packet.fork()
             clone.meta["hop"] = hop + 1
-            self.sim.after(delay, self._inject, next_link, clone)
+            self.sim.call_after(delay, self._inject, next_link, clone)
 
         return forward
 

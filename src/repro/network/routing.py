@@ -136,13 +136,13 @@ class RoutedNetwork:
             idx = packet.meta.get("path_index", 0)
             if idx + 2 >= len(path):
                 # b is the destination.
-                self.sim.after(delay, self.sink.on_packet, packet, now + delay)
+                self.sim.call_after(delay, self.sink.on_packet, packet, now + delay)
                 return
             nxt = path[idx + 2]
             clone = packet.fork()
             clone.meta["path_index"] = idx + 1
             next_link = self.links[(path[idx + 1], nxt)]
-            self.sim.after(delay, self._inject_at, next_link, clone)
+            self.sim.call_after(delay, self._inject_at, next_link, clone)
 
         return forward
 

@@ -13,8 +13,11 @@ capacity. It owns the non-preemptive service loop:
 
 Every packet's (arrival, start-of-service, departure) is recorded in a
 :class:`repro.simulation.tracing.Tracer` for the fairness/delay
-analysis. Busy periods are logged because the FC/EBF definitions
-constrain work only *within* busy periods.
+analysis — unless the tracer's ``enabled`` flag is False (pass a
+:class:`repro.simulation.tracing.NullTracer` to turn the per-packet
+tracing cost into a single attribute test). Busy periods are logged
+because the FC/EBF definitions constrain work only *within* busy
+periods.
 
 Outages
 -------
@@ -36,7 +39,7 @@ from repro.core.base import Scheduler
 from repro.core.packet import Packet
 from repro.servers.base import CapacityProcess
 from repro.simulation.engine import Simulator
-from repro.simulation.tracing import PacketRecord, Tracer
+from repro.simulation.tracing import Tracer
 
 DepartureHook = Callable[[Packet, float], None]
 DropHook = Callable[[Packet, float], None]
@@ -86,7 +89,8 @@ class Link:
         self._in_flight: Optional[Packet] = None
         self._completion = None  # pending transmission-complete event
         self._wakeup = None  # pending eligibility wake-up event
-        self._records: Dict[int, PacketRecord] = {}
+        # packet uid -> tracer handle (only populated while tracing).
+        self._records: Dict[int, object] = {}
         self.bits_transmitted = 0
         self.packets_transmitted = 0
         self.packets_dropped = 0
@@ -102,7 +106,11 @@ class Link:
         Returns False (and fires drop hooks) when the buffer is full.
         """
         now = self.sim.now
-        record = self.tracer.on_arrival(packet.flow, packet.seqno, packet.length, now)
+        tracer = self.tracer
+        if tracer.enabled:
+            handle = tracer.on_arrival(packet.flow, packet.seqno, packet.length, now)
+        else:
+            handle = None
         # Longest-queue-drop may need several evictions to make room for
         # a large arrival under a bits-denominated buffer.
         while self._buffer_full(packet):
@@ -110,15 +118,19 @@ class Link:
             if self.drop_policy == "longest_queue" and not self._per_flow_limited(packet):
                 victim = self._drop_from_longest_queue(now)
             if victim is None:
-                record.dropped = True
+                if handle is not None:
+                    tracer.mark_dropped(handle)
                 self.packets_dropped += 1
-                for hook in self.drop_hooks:
-                    hook(packet, now)
+                if self.drop_hooks:
+                    for hook in self.drop_hooks:
+                        hook(packet, now)
                 return False
-        self._records[packet.uid] = record
+        if handle is not None:
+            self._records[packet.uid] = handle
         self.scheduler.enqueue(packet, now)
-        for hook in self.arrival_hooks:
-            hook(packet, now)
+        if self.arrival_hooks:
+            for hook in self.arrival_hooks:
+                hook(packet, now)
         if not self._busy:
             self._start_service()
         return True
@@ -145,9 +157,9 @@ class Link:
         victim = self.scheduler.discard_tail(longest)
         if victim is None:
             return None
-        victim_record = self._records.pop(victim.uid, None)
-        if victim_record is not None:
-            victim_record.dropped = True
+        victim_handle = self._records.pop(victim.uid, None)
+        if victim_handle is not None:
+            self.tracer.mark_dropped(victim_handle)
         self.packets_dropped += 1
         for hook in self.drop_hooks:
             hook(victim, now)
@@ -205,9 +217,10 @@ class Link:
             self._busy_since = now
         self._busy = True
         self._in_flight = packet
-        record = self._records.get(packet.uid)
-        if record is not None:
-            record.start_service = now
+        if self._records:
+            handle = self._records.get(packet.uid)
+            if handle is not None:
+                self.tracer.mark_start(handle, now)
         finish = self.capacity.finish_time(now, packet.length)
         self._completion = self.sim.at(finish, self._complete, packet)
 
@@ -216,14 +229,16 @@ class Link:
         self._busy = False
         self._in_flight = None
         self._completion = None
-        record = self._records.pop(packet.uid, None)
-        if record is not None:
-            record.departure = now
+        if self._records:
+            handle = self._records.pop(packet.uid, None)
+            if handle is not None:
+                self.tracer.mark_departure(handle, now)
         self.bits_transmitted += packet.length
         self.packets_transmitted += 1
         self.scheduler.on_service_complete(packet, now)
-        for hook in self.departure_hooks:
-            hook(packet, now)
+        if self.departure_hooks:
+            for hook in self.departure_hooks:
+                hook(packet, now)
         self._start_service()
 
     def _on_wakeup(self) -> None:
@@ -275,9 +290,9 @@ class Link:
         packet = self._in_flight
         if packet is not None:
             if recovery == "replay":
-                record = self._records.get(packet.uid)
-                if record is not None:
-                    record.start_service = now
+                handle = self._records.get(packet.uid)
+                if handle is not None:
+                    self.tracer.mark_start(handle, now)
                 finish = self.capacity.finish_time(now, packet.length)
                 self._completion = self.sim.at(finish, self._complete, packet)
                 return
@@ -289,9 +304,9 @@ class Link:
             # service from a queue eviction.
             self._busy = False
             self._in_flight = None
-            record = self._records.pop(packet.uid, None)
-            if record is not None:
-                record.dropped = True
+            handle = self._records.pop(packet.uid, None)
+            if handle is not None:
+                self.tracer.mark_dropped(handle)
             packet.meta["outage_drop"] = True
             self.packets_dropped += 1
             self.scheduler.on_service_complete(packet, now)
@@ -323,12 +338,12 @@ class Link:
         possible = self.capacity.work(t1, t2)
         if possible <= 0:
             return 0.0
-        departed = [
-            r
-            for r in self.tracer.records
-            if r.departure is not None and t1 <= r.departure <= t2
-        ]
-        return sum(r.length for r in departed) / possible
+        served = sum(
+            r.length
+            for r in self.tracer.iter_departed()
+            if t1 <= r.departure <= t2
+        )
+        return served / possible
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

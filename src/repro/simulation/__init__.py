@@ -12,7 +12,13 @@ from repro.simulation.engine import Simulator
 from repro.simulation.events import Event, EventCancelled
 from repro.simulation.process import Process, Until, Waiter, spawn
 from repro.simulation.random import RandomStreams
-from repro.simulation.tracing import PacketRecord, Tracer
+from repro.simulation.tracing import (
+    ColumnarTracer,
+    NullTracer,
+    PacketRecord,
+    SamplingTracer,
+    Tracer,
+)
 
 __all__ = [
     "Simulator",
@@ -21,6 +27,9 @@ __all__ = [
     "RandomStreams",
     "PacketRecord",
     "Tracer",
+    "NullTracer",
+    "SamplingTracer",
+    "ColumnarTracer",
     "Process",
     "spawn",
     "Until",

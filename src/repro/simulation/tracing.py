@@ -1,18 +1,47 @@
-"""Structured packet tracing.
+"""Structured packet tracing — opt-in, with zero-cost and sampled tiers.
 
-A :class:`Tracer` collects one :class:`PacketRecord` per packet per hop.
-The analysis layer (:mod:`repro.analysis`) consumes these records to
-compute fairness measures, delay statistics and sequence-number series
-(Figure 1(b) of the paper plots exactly such a series).
+A tracer collects the (arrival, start-of-service, departure/drop) life
+of packets at a server. The analysis layer (:mod:`repro.analysis`)
+consumes these records to compute fairness measures, delay statistics
+and sequence-number series (Figure 1(b) of the paper plots exactly such
+a series).
+
+Tracer protocol
+---------------
+All tracers implement the same small hot-path surface, driven by
+:class:`repro.servers.link.Link`:
+
+``enabled``
+    Class-level flag. When False (:class:`NullTracer`) the Link skips
+    the tracing calls entirely — tracing disabled costs one attribute
+    read per packet.
+``on_arrival(flow, seqno, length, time) -> handle``
+    Record an arrival; returns an opaque *handle* (or ``None`` to
+    decline recording this packet, as :class:`SamplingTracer` does for
+    unsampled arrivals). The handle is what the server passes back to
+    the ``mark_*`` methods — a :class:`PacketRecord` for
+    :class:`Tracer`, an integer row index for :class:`ColumnarTracer`.
+``mark_start(handle, time)`` / ``mark_departure(handle, time)`` /
+``mark_dropped(handle)``
+    Stamp lifecycle milestones on a previously returned handle.
+
+Query surface
+-------------
+``flows()``, ``for_flow()``, ``departed()`` and ``dropped()`` return
+**tuples** — immutable views that do not copy per call the way the old
+list-returning API did; treat them as read-only. ``iter_for_flow()``
+and ``iter_departed()`` are generator variants for single-pass
+consumers, and ``count_for_flow()`` is O(1). ``delays()`` still returns
+a fresh list (it is always a transformation, never a view).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketRecord:
     """One packet's life at one server.
 
@@ -45,7 +74,10 @@ class PacketRecord:
 
 
 class Tracer:
-    """Collects per-packet records, indexed by flow."""
+    """Collects one :class:`PacketRecord` per packet, indexed by flow."""
+
+    #: Servers skip all tracing work when this is False.
+    enabled = True
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -53,14 +85,18 @@ class Tracer:
         self._by_flow: Dict[Hashable, List[PacketRecord]] = {}
 
     def add(self, record: PacketRecord) -> PacketRecord:
+        """Register an externally built record."""
         self.records.append(record)
-        self._by_flow.setdefault(record.flow, []).append(record)
+        flow_records = self._by_flow.get(record.flow)
+        if flow_records is None:
+            flow_records = self._by_flow[record.flow] = []
+        flow_records.append(record)
         return record
 
     def on_arrival(
         self, flow: Hashable, seqno: int, length: int, time: float
     ) -> PacketRecord:
-        """Convenience: create and register an arrival record."""
+        """Record an arrival; the returned record is the mark handle."""
         return self.add(
             PacketRecord(
                 flow=flow, seqno=seqno, length=length, arrival=time, server=self.name
@@ -68,26 +104,62 @@ class Tracer:
         )
 
     # ------------------------------------------------------------------
+    # Lifecycle marks (handle = the PacketRecord itself)
+    # ------------------------------------------------------------------
+    def mark_start(self, handle: PacketRecord, time: float) -> None:
+        """Stamp start-of-service on a handle from :meth:`on_arrival`."""
+        handle.start_service = time
+
+    def mark_departure(self, handle: PacketRecord, time: float) -> None:
+        """Stamp departure on a handle from :meth:`on_arrival`."""
+        handle.departure = time
+
+    def mark_dropped(self, handle: PacketRecord) -> None:
+        """Flag a handle from :meth:`on_arrival` as dropped."""
+        handle.dropped = True
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def flows(self) -> List[Hashable]:
-        return list(self._by_flow)
+    def flows(self) -> Tuple[Hashable, ...]:
+        """Flows with at least one record, in first-arrival order."""
+        return tuple(self._by_flow)
 
-    def for_flow(self, flow: Hashable) -> List[PacketRecord]:
-        return list(self._by_flow.get(flow, []))
+    def for_flow(self, flow: Hashable) -> Tuple[PacketRecord, ...]:
+        """All records of ``flow`` (read-only view, arrival order)."""
+        records = self._by_flow.get(flow)
+        return tuple(records) if records is not None else ()
 
-    def departed(self, flow: Optional[Hashable] = None) -> List[PacketRecord]:
+    def iter_for_flow(self, flow: Hashable) -> Iterator[PacketRecord]:
+        """Iterate ``flow``'s records without building a container."""
+        return iter(self._by_flow.get(flow, ()))
+
+    def count_for_flow(self, flow: Hashable) -> int:
+        """Number of records of ``flow`` — O(1)."""
+        records = self._by_flow.get(flow)
+        return len(records) if records is not None else 0
+
+    def departed(self, flow: Optional[Hashable] = None) -> Tuple[PacketRecord, ...]:
+        """Records that completed service (optionally one flow's)."""
+        return tuple(self.iter_departed(flow))
+
+    def iter_departed(self, flow: Optional[Hashable] = None) -> Iterator[PacketRecord]:
+        """Iterate departed records without building a container."""
         records: Iterable[PacketRecord]
-        records = self.records if flow is None else self._by_flow.get(flow, [])
-        return [r for r in records if r.departure is not None]
+        records = self.records if flow is None else self._by_flow.get(flow, ())
+        return (r for r in records if r.departure is not None)
 
-    def dropped(self, flow: Optional[Hashable] = None) -> List[PacketRecord]:
+    def dropped(self, flow: Optional[Hashable] = None) -> Tuple[PacketRecord, ...]:
+        """Records of dropped packets (optionally one flow's)."""
         records: Iterable[PacketRecord]
-        records = self.records if flow is None else self._by_flow.get(flow, [])
-        return [r for r in records if r.dropped]
+        records = self.records if flow is None else self._by_flow.get(flow, ())
+        return tuple(r for r in records if r.dropped)
 
     def delays(self, flow: Optional[Hashable] = None) -> List[float]:
-        return [r.delay for r in self.departed(flow) if r.delay is not None]
+        """Per-packet delays of departed packets, as a fresh list."""
+        return [
+            r.departure - r.arrival for r in self.iter_departed(flow)
+        ]
 
     def work_in_interval(self, flow: Hashable, t1: float, t2: float) -> int:
         """Aggregate bits of ``flow`` served entirely within ``[t1, t2]``.
@@ -96,7 +168,7 @@ class Tracer:
         and finishes* service within it (Section 1.2).
         """
         total = 0
-        for record in self._by_flow.get(flow, []):
+        for record in self._by_flow.get(flow, ()):
             if (
                 record.start_service is not None
                 and record.departure is not None
@@ -107,8 +179,270 @@ class Tracer:
         return total
 
     def clear(self) -> None:
+        """Drop all collected records."""
         self.records.clear()
         self._by_flow.clear()
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+class NullTracer:
+    """Tracing disabled: every operation is a no-op.
+
+    ``enabled`` is False, so a :class:`~repro.servers.link.Link` given a
+    NullTracer never calls into it on the per-packet path at all — the
+    cost of tracing drops to a single attribute test per packet. The
+    query surface is present (and empty) so analysis code degrades
+    gracefully rather than crashing.
+    """
+
+    enabled = False
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        #: Always-empty record list (query-surface compatibility).
+        self.records: Tuple[PacketRecord, ...] = ()
+
+    def add(self, record: PacketRecord) -> PacketRecord:
+        """Ignore an externally built record (returned unchanged)."""
+        return record
+
+    def on_arrival(
+        self, flow: Hashable, seqno: int, length: int, time: float
+    ) -> None:
+        """Decline to record; returns ``None`` (no handle)."""
+        return None
+
+    def mark_start(self, handle: object, time: float) -> None:
+        """No-op."""
+
+    def mark_departure(self, handle: object, time: float) -> None:
+        """No-op."""
+
+    def mark_dropped(self, handle: object) -> None:
+        """No-op."""
+
+    def flows(self) -> Tuple[Hashable, ...]:
+        """Always empty."""
+        return ()
+
+    def for_flow(self, flow: Hashable) -> Tuple[PacketRecord, ...]:
+        """Always empty."""
+        return ()
+
+    def iter_for_flow(self, flow: Hashable) -> Iterator[PacketRecord]:
+        """Always empty."""
+        return iter(())
+
+    def count_for_flow(self, flow: Hashable) -> int:
+        """Always zero."""
+        return 0
+
+    def departed(self, flow: Optional[Hashable] = None) -> Tuple[PacketRecord, ...]:
+        """Always empty."""
+        return ()
+
+    def iter_departed(self, flow: Optional[Hashable] = None) -> Iterator[PacketRecord]:
+        """Always empty."""
+        return iter(())
+
+    def dropped(self, flow: Optional[Hashable] = None) -> Tuple[PacketRecord, ...]:
+        """Always empty."""
+        return ()
+
+    def delays(self, flow: Optional[Hashable] = None) -> List[float]:
+        """Always empty."""
+        return []
+
+    def work_in_interval(self, flow: Hashable, t1: float, t2: float) -> int:
+        """Always zero."""
+        return 0
+
+    def clear(self) -> None:
+        """No-op."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+class SamplingTracer(Tracer):
+    """Record every ``period``-th arrival; decline the rest.
+
+    A middle tier between full tracing and :class:`NullTracer`: long
+    capacity-planning runs keep a statistically useful packet sample at
+    ``1/period`` of full-tracing cost. Unsampled packets get no handle
+    (``on_arrival`` returns ``None``), so the server skips their
+    ``mark_*`` calls entirely.
+    """
+
+    def __init__(self, name: str = "", period: int = 100) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        super().__init__(name)
+        self.period = int(period)
+        self.arrivals_seen = 0
+
+    def on_arrival(
+        self, flow: Hashable, seqno: int, length: int, time: float
+    ) -> Optional[PacketRecord]:
+        """Record the arrival only if it falls on the sampling grid."""
+        seen = self.arrivals_seen
+        self.arrivals_seen = seen + 1
+        if seen % self.period:
+            return None
+        return super().on_arrival(flow, seqno, length, time)
+
+
+class ColumnarTracer:
+    """Full-fidelity tracing in columnar (struct-of-arrays) storage.
+
+    Stores each field of the record stream in a parallel append-only
+    list and hands out integer row indices as handles, so the per-packet
+    hot path performs only list appends — no :class:`PacketRecord`
+    dataclass allocation per packet per hop. Queries materialize
+    :class:`PacketRecord` objects on demand, making this a drop-in
+    replacement for :class:`Tracer` whose cost is shifted from the
+    simulation loop to analysis time (and whose columns are directly
+    consumable by numpy without an object walk).
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.col_flow: List[Hashable] = []
+        self.col_seqno: List[int] = []
+        self.col_length: List[int] = []
+        self.col_arrival: List[float] = []
+        self.col_start: List[Optional[float]] = []
+        self.col_departure: List[Optional[float]] = []
+        self.col_dropped: List[bool] = []
+        self._by_flow: Dict[Hashable, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def on_arrival(self, flow: Hashable, seqno: int, length: int, time: float) -> int:
+        """Append a row; the returned row index is the mark handle."""
+        idx = len(self.col_flow)
+        self.col_flow.append(flow)
+        self.col_seqno.append(seqno)
+        self.col_length.append(length)
+        self.col_arrival.append(time)
+        self.col_start.append(None)
+        self.col_departure.append(None)
+        self.col_dropped.append(False)
+        rows = self._by_flow.get(flow)
+        if rows is None:
+            rows = self._by_flow[flow] = []
+        rows.append(idx)
+        return idx
+
+    def mark_start(self, handle: int, time: float) -> None:
+        """Stamp start-of-service on a row index."""
+        self.col_start[handle] = time
+
+    def mark_departure(self, handle: int, time: float) -> None:
+        """Stamp departure on a row index."""
+        self.col_departure[handle] = time
+
+    def mark_dropped(self, handle: int) -> None:
+        """Flag a row index as dropped."""
+        self.col_dropped[handle] = True
+
+    # ------------------------------------------------------------------
+    # Queries (materialize PacketRecords on demand)
+    # ------------------------------------------------------------------
+    def _materialize(self, idx: int) -> PacketRecord:
+        return PacketRecord(
+            flow=self.col_flow[idx],
+            seqno=self.col_seqno[idx],
+            length=self.col_length[idx],
+            arrival=self.col_arrival[idx],
+            start_service=self.col_start[idx],
+            departure=self.col_departure[idx],
+            dropped=self.col_dropped[idx],
+            server=self.name,
+        )
+
+    @property
+    def records(self) -> Tuple[PacketRecord, ...]:
+        """All rows as :class:`PacketRecord` objects (materialized now)."""
+        return tuple(self._materialize(i) for i in range(len(self.col_flow)))
+
+    def flows(self) -> Tuple[Hashable, ...]:
+        """Flows with at least one row, in first-arrival order."""
+        return tuple(self._by_flow)
+
+    def for_flow(self, flow: Hashable) -> Tuple[PacketRecord, ...]:
+        """All of ``flow``'s rows, materialized."""
+        return tuple(self.iter_for_flow(flow))
+
+    def iter_for_flow(self, flow: Hashable) -> Iterator[PacketRecord]:
+        """Materialize ``flow``'s rows lazily."""
+        return (self._materialize(i) for i in self._by_flow.get(flow, ()))
+
+    def count_for_flow(self, flow: Hashable) -> int:
+        """Number of rows of ``flow`` — O(1)."""
+        rows = self._by_flow.get(flow)
+        return len(rows) if rows is not None else 0
+
+    def _indices(self, flow: Optional[Hashable]) -> Iterable[int]:
+        if flow is None:
+            return range(len(self.col_flow))
+        return self._by_flow.get(flow, ())
+
+    def departed(self, flow: Optional[Hashable] = None) -> Tuple[PacketRecord, ...]:
+        """Rows that completed service, materialized."""
+        return tuple(self.iter_departed(flow))
+
+    def iter_departed(self, flow: Optional[Hashable] = None) -> Iterator[PacketRecord]:
+        """Materialize departed rows lazily."""
+        departure = self.col_departure
+        return (
+            self._materialize(i)
+            for i in self._indices(flow)
+            if departure[i] is not None
+        )
+
+    def dropped(self, flow: Optional[Hashable] = None) -> Tuple[PacketRecord, ...]:
+        """Rows of dropped packets, materialized."""
+        flags = self.col_dropped
+        return tuple(self._materialize(i) for i in self._indices(flow) if flags[i])
+
+    def delays(self, flow: Optional[Hashable] = None) -> List[float]:
+        """Per-packet delays of departed rows, straight off the columns."""
+        departure = self.col_departure
+        arrival = self.col_arrival
+        return [
+            departure[i] - arrival[i]
+            for i in self._indices(flow)
+            if departure[i] is not None
+        ]
+
+    def work_in_interval(self, flow: Hashable, t1: float, t2: float) -> int:
+        """Bits of ``flow`` served entirely within ``[t1, t2]`` (Section 1.2)."""
+        start = self.col_start
+        departure = self.col_departure
+        length = self.col_length
+        total = 0
+        for i in self._by_flow.get(flow, ()):
+            s, d = start[i], departure[i]
+            if s is not None and d is not None and s >= t1 and d <= t2:
+                total += length[i]
+        return total
+
+    def clear(self) -> None:
+        """Drop all rows."""
+        self.col_flow.clear()
+        self.col_seqno.clear()
+        self.col_length.clear()
+        self.col_arrival.clear()
+        self.col_start.clear()
+        self.col_departure.clear()
+        self.col_dropped.clear()
+        self._by_flow.clear()
+
+    def __len__(self) -> int:
+        return len(self.col_flow)

@@ -47,7 +47,7 @@ class Source(ABC):
         if self._started:
             return
         self._started = True
-        self.sim.at(self.start_time, self._begin)
+        self.sim.call_at(self.start_time, self._begin)
 
     def _begin(self) -> None:
         self._schedule_next()

@@ -45,7 +45,7 @@ class CBRSource(Source):
         gap = self.interval
         if self.jitter > 0 and self.rng is not None:
             gap *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
-        self.sim.after(max(gap, 0.0), self._schedule_next)
+        self.sim.call_after(max(gap, 0.0), self._schedule_next)
 
 
 class BulkSource(Source):

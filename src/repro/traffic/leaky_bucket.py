@@ -76,7 +76,7 @@ class LeakyBucketShaper:
             deficit = self._queue[0].length - self._tokens
             delay = max(deficit / self.rho, 1e-9)
             self._release_pending = True
-            self.sim.after(delay, self._release)
+            self.sim.call_after(delay, self._release)
 
     def _release(self) -> None:
         self._release_pending = False

@@ -92,7 +92,7 @@ class ParetoOnOffSource(Source):
             return
         if self.sim.now >= self._on_until:
             off = pareto_sample(self.rng, self.alpha, self.min_off)
-            self.sim.after(off, self._start_burst)
+            self.sim.call_after(off, self._start_burst)
             return
         self._emit(self.packet_length)
-        self.sim.after(self.packet_length / self.peak_rate, self._tick)
+        self.sim.call_after(self.packet_length / self.peak_rate, self._tick)

@@ -38,13 +38,13 @@ class PoissonSource(Source):
 
     def _begin(self) -> None:
         # First arrival is itself exponentially distributed.
-        self.sim.after(self.rng.expovariate(self.intensity), self._schedule_next)
+        self.sim.call_after(self.rng.expovariate(self.intensity), self._schedule_next)
 
     def _schedule_next(self) -> None:
         if self._exhausted():
             return
         self._emit(self.packet_length)
-        self.sim.after(self.rng.expovariate(self.intensity), self._schedule_next)
+        self.sim.call_after(self.rng.expovariate(self.intensity), self._schedule_next)
 
 
 class OnOffSource(Source):
@@ -95,7 +95,7 @@ class OnOffSource(Source):
         if self._exhausted():
             return
         if self.sim.now >= self._on_until:
-            self.sim.after(self.rng.expovariate(1.0 / self.mean_off), self._start_burst)
+            self.sim.call_after(self.rng.expovariate(1.0 / self.mean_off), self._start_burst)
             return
         self._emit(self.packet_length)
-        self.sim.after(self.packet_length / self.peak_rate, self._schedule_next)
+        self.sim.call_after(self.packet_length / self.peak_rate, self._schedule_next)

@@ -39,7 +39,7 @@ class TraceSource(Source):
         while self._idx < len(self.schedule):
             t, length = self.schedule[self._idx]
             if t > self.sim.now + 1e-15:
-                self.sim.at(t, self._schedule_next)
+                self.sim.call_at(t, self._schedule_next)
                 return
             self._idx += 1
             self._emit(int(length), rate=self.per_packet_rate)

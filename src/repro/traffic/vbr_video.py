@@ -107,7 +107,7 @@ class VBRVideoSource(Source):
             if self._emit(self.packet_length) is None:
                 return
         self.frames_sent += 1
-        self.sim.after(1.0 / self.frame_rate, self._schedule_next)
+        self.sim.call_after(1.0 / self.frame_rate, self._schedule_next)
 
     # ------------------------------------------------------------------
     def offline_trace(self, duration: float) -> List[tuple]:

@@ -101,7 +101,7 @@ class TcpReceiver:
             return
         ackno = self._next_expected  # cumulative: next byte expected
         self.acks_sent += 1
-        self.sim.after(self.ack_path_delay, self.sender.on_ack, ackno)
+        self.sim.call_after(self.ack_path_delay, self.sender.on_ack, ackno)
 
     @property
     def in_order_count(self) -> int:

@@ -1,0 +1,6 @@
+"""Frozen seed implementations used by the equivalence and perf suites.
+
+``legacy_cores`` holds the pre-optimization scheduler classes;
+``legacy_engine`` holds the pre-optimization event loop. Both are
+deliberately unmaintained snapshots — see their module docstrings.
+"""

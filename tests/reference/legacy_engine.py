@@ -1,0 +1,178 @@
+"""Frozen seed ("legacy") event engine — the pre-fast-loop original.
+
+A byte-for-byte copy of the seed :class:`Simulator`: every scheduled
+callback allocates an :class:`~repro.simulation.events.Event` handle, and
+the run loop re-enters helper methods per event. The perf-regression
+harness measures the optimized engine against this one; see
+``tests/reference/legacy_cores.py`` for the matching scheduler snapshot.
+
+Do not modernize this module: its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+from repro.simulation.engine import SimulationError
+from repro.simulation.events import Event
+
+
+class LegacySimulator:
+    """Discrete-event simulator with a float-seconds clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._running = False
+        self._stopped = False
+        self._truncated = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (for complexity accounting)."""
+        return self._events_processed
+
+    @property
+    def truncated(self) -> bool:
+        """True when the last :meth:`run` hit ``max_events`` with work
+        still pending (within ``until``, if one was given).
+
+        A truncated run is an *incomplete* simulation — results computed
+        from its traces are suspect. The flag is reset by the next call
+        to :meth:`run`.
+        """
+        return self._truncated
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        ``time`` may equal ``now`` (the event fires after the current
+        callback returns) but may not lie in the past.
+        """
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self._now}"
+            )
+        event = Event(time, callback, args, priority=priority)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Run controls
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop the loop after the currently firing event returns."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the heap is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the single next event. Returns False when none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event._fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time
+            and advance the clock to exactly ``until``. ``None`` runs to
+            event-queue exhaustion.
+        max_events:
+            Safety valve for runaway simulations. Exhausting it with
+            events still pending sets :attr:`truncated` so callers can
+            tell an incomplete run from a naturally finished one.
+
+        Returns the simulation time at which the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        self._truncated = False
+        fired = 0
+        try:
+            while not self._stopped:
+                self._drop_cancelled()
+                if not self._heap:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._events_processed += 1
+                event._fire()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    self._drop_cancelled()
+                    if self._heap and (
+                        until is None or self._heap[0].time <= until
+                    ):
+                        self._truncated = True
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
+        """Run for ``duration`` simulated seconds from the current time."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.9g}, pending={len(self._heap)})"

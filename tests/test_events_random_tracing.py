@@ -122,4 +122,4 @@ def test_tracer_clear():
     tracer.on_arrival("f", 0, 100, 0.0)
     tracer.clear()
     assert len(tracer) == 0
-    assert tracer.for_flow("f") == []
+    assert tracer.for_flow("f") == ()

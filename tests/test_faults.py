@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import heapq
-
 import pytest
 
 from repro.core.drr import DRR
@@ -339,13 +337,12 @@ class StarvingSFQ(SFQ):
     tags drags v(t) backwards (virtual-time monotonicity).
     """
 
-    def _do_enqueue(self, state, packet, now):
+    def _tag_packet(self, state, packet, now):
         if packet.flow != "a":
-            return super()._do_enqueue(state, packet, now)
+            return super()._tag_packet(state, packet, now)
         packet.start_tag = 0.0
         packet.finish_tag = packet.length / state.packet_rate(packet)
-        state.push(packet)
-        heapq.heappush(self._heap, (0.0, (), packet.uid, packet))
+        return 0.0
 
 
 def test_monitors_fire_on_broken_scheduler():

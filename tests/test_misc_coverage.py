@@ -113,4 +113,5 @@ def test_sfq_inner_heap_stays_clean_after_many_discards():
     while sfq.dequeue(0.0) is not None:
         served += 1
     assert served == 40
-    assert not sfq._discarded  # all stale entries were reaped
+    # The flow-head heap is fully drained: no live or stale entries left.
+    assert not sfq._head_heap
