@@ -1,0 +1,54 @@
+"""Bench: campaign runner — multiprocess fan-out with a content-addressed
+cache. Asserts the two properties the runner sells: a warm re-run is
+served entirely from the cache with bit-identical summaries, and a
+parallel run renders identically to a serial one."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.campaign import run_campaign
+from repro.experiments.harness import ExperimentResult
+
+NAMES = ["table1", "example1", "example2"]
+
+
+def test_campaign_cold_then_warm(benchmark, tmp_path):
+    cold = benchmark.pedantic(
+        run_campaign,
+        args=(NAMES,),
+        kwargs={"seeds": 2, "jobs": 1, "results_dir": str(tmp_path)},
+        rounds=1,
+        iterations=1,
+    )
+    assert cold.stats["failed"] == 0
+    assert cold.stats["cached"] == 0
+
+    warm = run_campaign(NAMES, seeds=2, jobs=1, results_dir=str(tmp_path))
+    assert warm.stats["cached"] == warm.stats["shards"]
+    assert [s.render() for s in warm.summaries.values()] == [
+        s.render() for s in cold.summaries.values()
+    ]
+
+    # Archive under a campaign-specific slug — the per-experiment
+    # benchmarks own results/<experiment>.txt, and a seeds=2 aggregate
+    # must not clobber their single-seed artifacts.
+    combined = ExperimentResult(
+        experiment="campaign runner smoke",
+        description=(
+            "cold-vs-warm campaign over "
+            + ", ".join(NAMES)
+            + " (seeds=2); warm run served entirely from the cache"
+        ),
+        headers=["run", "shards", "ok", "cached"],
+    )
+    for label, stats in (("cold", cold.stats), ("warm", warm.stats)):
+        combined.add_row(label, stats["shards"], stats["ok"], stats["cached"])
+    save_result(combined)
+
+
+def test_campaign_parallel_matches_serial(tmp_path):
+    serial = run_campaign(NAMES, seeds=2, jobs=1, cache=False)
+    parallel = run_campaign(NAMES, seeds=2, jobs=2, cache=False)
+    assert [s.render() for s in serial.summaries.values()] == [
+        s.render() for s in parallel.summaries.values()
+    ]

@@ -64,6 +64,41 @@ def _to_markdown(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
+def campaign_to_markdown(campaign: "CampaignResult") -> str:  # noqa: F821
+    """Render a campaign's aggregated summaries as one Markdown doc.
+
+    Written by ``python -m repro campaign`` to
+    ``<results>/campaign_summary.md``. Shard-level provenance (cache
+    hits, retries, failures) lives in the manifest next to it; this
+    document is the human-readable evaluation: one summary table per
+    experiment, mean over seed slots, with failed shards called out.
+    """
+    stats = campaign.stats
+    lines: List[str] = [
+        "# Campaign summary",
+        "",
+        f"{stats['shards']} shards ({stats['ok']} ok, {stats['failed']} "
+        f"failed), {stats['cached']} served from cache, "
+        f"{stats['seeds']} seed slot(s), --jobs {stats['jobs']}, "
+        f"{campaign.wall_s:.2f}s wall.",
+        "",
+    ]
+    for summary in campaign.summaries.values():
+        lines.append(_to_markdown(summary))
+    failures = campaign.failures
+    if failures:
+        lines.append("## Failed shards")
+        lines.append("")
+        for outcome in failures:
+            first_line = outcome.error.splitlines()[0] if outcome.error else ""
+            lines.append(
+                f"- `{outcome.shard.describe()}` — {outcome.status}"
+                + (f": {first_line}" if first_line else "")
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
 def _bench_section(root: Optional[Path] = None) -> Optional[str]:
     """Render the measured O(log F) vs O(log N) scaling curve from the
     committed ``BENCH_*.json`` (written by ``python -m repro bench``).

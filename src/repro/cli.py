@@ -5,154 +5,45 @@
     python -m repro list
     python -m repro run figure1
     python -m repro run figure2b --duration 1000
-    python -m repro run all --seed 7
+    python -m repro run all --seed 7 --jobs 4
+    python -m repro campaign --jobs 4 --seeds 5
+    python -m repro campaign --only table1,figure1 --seeds 2 --jobs 2
 
 Each experiment prints the same table/series the benchmark suite
-archives under ``results/``.
+archives under ``results/``. Dispatch goes through the lazy registry in
+:mod:`repro.experiments` (``name -> module:function``), shared with the
+campaign runner, so ``python -m repro list`` never imports a simulation
+module.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
+from repro.experiments import (
+    ACCEPTS_DURATION,
+    ACCEPTS_SEED,
+    DESCRIPTIONS,
+    REGISTRY,
+    load_experiment,
+)
 from repro.experiments.harness import ExperimentResult
 
-# Lazy imports keep `python -m repro list` fast.
-_RUNNERS: Dict[str, str] = {
-    "table1": "Table 1: fairness of WFQ/FQS/SCFQ/DRR vs SFQ",
-    "example1": "Example 1: WFQ >= 2x the fairness lower bound",
-    "example2": "Example 2: WFQ unfair on a variable-rate server",
-    "figure1": "Figure 1(b): TCP fairness over a variable-rate server",
-    "figure2a": "Figure 2(a): max-delay delta, SFQ vs WFQ (analytic)",
-    "figure2b": "Figure 2(b): avg delay of low-throughput flows",
-    "figure3": "Figure 3(b): weighted shares on a fluctuating interface",
-    "throughput": "Theorems 2/3: throughput guarantees (FC/EBF)",
-    "delay": "Theorems 4/5 + eq. 56-57: delay guarantees",
-    "e2e": "Corollary 1: end-to-end delay over K hops",
-    "linkshare": "Example 3: hierarchical link sharing",
-    "shifting": "Delay shifting (eq. 69-73)",
-    "edd": "Theorem 7: Delay EDD on FC servers",
-    "fa": "Fair Airport (Theorems 8/9)",
-    "ebf": "Theorem 5: statistical delay tail on EBF servers",
-    "residual": "Section 2.3: priority residual is FC(C-rho, sigma)",
-    "vbr": "Section 2.3: generalized SFQ with per-packet rates",
-    "interop": "Section 2.4: heterogeneous schedulers interoperate",
-    "stress": "Theorem 1 under Pareto traffic + Gilbert-Elliott link",
-    "faults": "Fault tolerance: link outage + flow churn, invariant monitors",
-    "robust-figure1": "Robustness: Figure 1(b) across buffers and seeds",
-    "robust-figure2b": "Robustness: Figure 2(b) excess across seeds",
-    "complexity": "Complexity accounting: GPS work vs self-clocking",
-}
+#: Backwards-compatible aliases (pre-registry callers).
+_RUNNERS = DESCRIPTIONS
+_ACCEPTS_SEED = ACCEPTS_SEED
+_ACCEPTS_DURATION = ACCEPTS_DURATION
 
 
 def _load(name: str) -> Callable[..., ExperimentResult]:
-    if name == "table1":
-        from repro.experiments.table1 import run_table1
-
-        return run_table1
-    if name == "example1":
-        from repro.experiments.examples_1_2 import run_example1
-
-        return run_example1
-    if name == "example2":
-        from repro.experiments.examples_1_2 import run_example2
-
-        return run_example2
-    if name == "figure1":
-        from repro.experiments.figure1 import run_figure1
-
-        return run_figure1
-    if name == "figure2a":
-        from repro.experiments.figure2a import run_figure2a
-
-        return run_figure2a
-    if name == "figure2b":
-        from repro.experiments.figure2b import run_figure2b
-
-        return run_figure2b
-    if name == "figure3":
-        from repro.experiments.figure3 import run_figure3
-
-        return run_figure3
-    if name == "throughput":
-        from repro.experiments.throughput_bounds import run_throughput_bounds
-
-        return run_throughput_bounds
-    if name == "delay":
-        from repro.experiments.delay_bounds_exp import run_delay_bounds
-
-        return run_delay_bounds
-    if name == "e2e":
-        from repro.experiments.end_to_end_exp import run_end_to_end
-
-        return run_end_to_end
-    if name == "linkshare":
-        from repro.experiments.link_sharing_exp import run_link_sharing
-
-        return run_link_sharing
-    if name == "shifting":
-        from repro.experiments.delay_shifting import run_delay_shifting
-
-        return run_delay_shifting
-    if name == "edd":
-        from repro.experiments.delay_edd_exp import run_delay_edd
-
-        return run_delay_edd
-    if name == "fa":
-        from repro.experiments.fair_airport_exp import run_fair_airport
-
-        return run_fair_airport
-    if name == "ebf":
-        from repro.experiments.ebf_delay import run_ebf_delay
-
-        return run_ebf_delay
-    if name == "residual":
-        from repro.experiments.residual_exp import run_residual
-
-        return run_residual
-    if name == "vbr":
-        from repro.experiments.vbr_rates import run_vbr_rates
-
-        return run_vbr_rates
-    if name == "interop":
-        from repro.experiments.interop import run_interop
-
-        return run_interop
-    if name == "stress":
-        from repro.experiments.stress import run_stress
-
-        return run_stress
-    if name == "faults":
-        from repro.experiments.fault_tolerance import run_fault_tolerance
-
-        return run_fault_tolerance
-    if name == "robust-figure1":
-        from repro.experiments.robustness import run_figure1_robustness
-
-        return run_figure1_robustness
-    if name == "robust-figure2b":
-        from repro.experiments.robustness import run_figure2b_robustness
-
-        return run_figure2b_robustness
-    if name == "complexity":
-        from repro.experiments.complexity import run_complexity
-
-        return run_complexity
-    raise KeyError(name)
-
-
-#: Experiments accepting each optional CLI knob.
-_ACCEPTS_SEED = {
-    "table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress",
-    "faults",
-}
-_ACCEPTS_DURATION = {"figure1", "figure2b"}
+    return load_experiment(name)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse CLI (list / run / report subcommands)."""
+    """Construct the argparse CLI (list / run / bench / report /
+    campaign subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Start-time Fair Queuing (SIGCOMM '96) reproduction",
@@ -160,10 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", choices=sorted(_RUNNERS) + ["all"])
+    run.add_argument("experiment", choices=sorted(REGISTRY) + ["all"])
     run.add_argument("--seed", type=int, default=None, help="experiment seed")
     run.add_argument(
         "--duration", type=float, default=None, help="simulated horizon (s)"
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for 'run all' (default 1 = in-process)",
     )
     bench = sub.add_parser(
         "bench",
@@ -192,6 +87,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", nargs="*", default=None,
         help="subset of experiment names (default: all)",
     )
+    campaign = sub.add_parser(
+        "campaign",
+        help="fan experiments x params x seeds across worker processes "
+             "with a content-addressed result cache",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = in-process)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=1,
+        help="seed slots per seed-accepting experiment (default 1)",
+    )
+    campaign.add_argument(
+        "--base-seed", type=int, default=0,
+        help="base seed mixed into every shard's derived seed (default 0)",
+    )
+    campaign.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment subset (default: all)",
+    )
+    campaign.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    campaign.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-shard timeout in seconds (shard is marked failed)",
+    )
+    campaign.add_argument(
+        "--retries", type=int, default=1,
+        help="retries for shards whose worker process dies (default 1)",
+    )
+    campaign.add_argument(
+        "--results-dir", default="results",
+        help="directory for the cache and campaign artifacts "
+             "(default: results)",
+    )
+    campaign.add_argument(
+        "--quiet", action="store_true", help="suppress per-shard progress"
+    )
+    campaign.add_argument(
+        "--bench", action="store_true",
+        help="measure --jobs and warm-cache speedups instead of running "
+             "a campaign; writes BENCH_campaign.json",
+    )
+    campaign.add_argument(
+        "--bench-output", default="BENCH_campaign.json",
+        help="path for --bench output (default BENCH_campaign.json)",
+    )
     return parser
 
 
@@ -199,22 +144,126 @@ def run_experiment(
     name: str, seed: Optional[int] = None, duration: Optional[float] = None
 ) -> ExperimentResult:
     """Run one experiment by CLI name and return its result."""
-    runner = _load(name)
+    runner = load_experiment(name)
     kwargs = {}
-    if seed is not None and name in _ACCEPTS_SEED:
+    if seed is not None and name in ACCEPTS_SEED:
         kwargs["seed"] = seed
-    if duration is not None and name in _ACCEPTS_DURATION:
+    if duration is not None and name in ACCEPTS_DURATION:
         kwargs["duration"] = duration
     return runner(**kwargs)
+
+
+def _parse_only(only: Optional[str]) -> Optional[List[str]]:
+    if only is None:
+        return None
+    names = [part.strip() for part in only.replace(",", " ").split() if part.strip()]
+    unknown = sorted(set(names) - set(REGISTRY))
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(see `python -m repro list`)"
+        )
+    return names
+
+
+def _run_all(args: argparse.Namespace) -> int:
+    """Legacy ``run all`` path, routed through the campaign runner.
+
+    Seeds are passed through directly (no derivation) so output matches
+    running each experiment by hand with the same ``--seed``; the cache
+    is bypassed because ``run`` promises a fresh execution.
+    """
+    from pathlib import Path
+
+    from repro.experiments.campaign import run_campaign
+
+    grids = None
+    if args.duration is not None:
+        grids = dict()
+        from repro.experiments.campaign import PARAM_GRIDS
+
+        grids.update(PARAM_GRIDS)
+        for name in sorted(ACCEPTS_DURATION):
+            grids[name] = [{"duration": args.duration}]
+    campaign = run_campaign(
+        sorted(REGISTRY),
+        seeds=1,
+        jobs=max(1, args.jobs),
+        base_seed=args.seed,
+        derive_seeds=False,
+        cache=False,
+        grids=grids,
+        results_dir=str(Path("results")),
+    )
+    for name in sorted(campaign.summaries):
+        print(campaign.summaries[name].render())
+        print()
+    print(campaign.render_stats())
+    for outcome in campaign.failures:
+        print(f"FAILED: {outcome.shard.describe()}: "
+              f"{outcome.error.splitlines()[0] if outcome.error else outcome.status}")
+    return 1 if campaign.failures else 0
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.campaign import (
+        run_campaign,
+        run_campaign_bench,
+        write_manifest,
+    )
+
+    if args.bench:
+        run_campaign_bench(
+            output=args.bench_output,
+            jobs=max(2, args.jobs) if args.jobs > 1 else 4,
+            seeds=args.seeds,
+            names=_parse_only(args.only),
+            timeout=args.timeout,
+        )
+        return 0
+
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    campaign = run_campaign(
+        _parse_only(args.only),
+        seeds=args.seeds,
+        jobs=args.jobs,
+        base_seed=args.base_seed,
+        cache=not args.no_cache,
+        results_dir=args.results_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    print()
+    for name in campaign.summaries:
+        print(campaign.summaries[name].render())
+        print()
+    print(campaign.render_stats())
+
+    results_dir = Path(args.results_dir)
+    write_manifest(campaign, results_dir / "campaign_manifest.json")
+    from repro.analysis.report import campaign_to_markdown
+
+    (results_dir / "campaign_summary.md").write_text(
+        campaign_to_markdown(campaign)
+    )
+    print(f"manifest: {results_dir / 'campaign_manifest.json'}; "
+          f"summary: {results_dir / 'campaign_summary.md'}")
+    for outcome in campaign.failures:
+        print(f"FAILED: {outcome.shard.describe()} ({outcome.status}): "
+              f"{outcome.error.splitlines()[0] if outcome.error else ''}")
+    return 1 if campaign.failures else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(n) for n in _RUNNERS)
-        for name in sorted(_RUNNERS):
-            print(f"{name:<{width}}  {_RUNNERS[name]}")
+        width = max(len(n) for n in DESCRIPTIONS)
+        for name in sorted(DESCRIPTIONS):
+            print(f"{name:<{width}}  {DESCRIPTIONS[name]}")
         return 0
     if args.command == "bench":
         from repro.experiments.bench import run_bench
@@ -233,11 +282,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in failures:
             print(f"FAILED: {failure}")
         return 1 if failures else 0
-    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        result = run_experiment(name, seed=args.seed, duration=args.duration)
-        print(result.render())
-        print()
+    if args.command == "campaign":
+        return _run_campaign_command(args)
+    if args.experiment == "all":
+        return _run_all(args)
+    result = run_experiment(
+        args.experiment, seed=args.seed, duration=args.duration
+    )
+    print(result.render())
+    print()
     return 0
 
 

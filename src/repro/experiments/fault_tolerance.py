@@ -31,7 +31,7 @@ reproduces the identical faulted run, byte for byte.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 from repro.core.sfq import SFQ
 from repro.core.wfq import WFQ
@@ -214,8 +214,20 @@ def run_churn_scenario(seed: int = 1) -> Tuple[Dict[str, object], MonitorSuite]:
     return stats, monitors
 
 
-def run_fault_tolerance(seed: int = 1) -> ExperimentResult:
-    """The ``faults`` CLI experiment: outage comparison + churn audit."""
+def run_fault_tolerance(
+    seed: int = 1,
+    algorithms: Sequence[str] = ("SFQ", "WFQ"),
+    include_churn: bool = True,
+) -> ExperimentResult:
+    """The ``faults`` CLI experiment: outage comparison + churn audit.
+
+    ``algorithms`` selects which outage scenarios run and
+    ``include_churn`` gates the churn audit, so the campaign runner can
+    shard the scenario grid (one shard per outage algorithm plus one for
+    churn) across worker processes; the default arguments reproduce the
+    full monolithic experiment, and concatenating the sharded results in
+    grid order yields the same table and notes.
+    """
     result = ExperimentResult(
         experiment="Fault tolerance: outage, churn, invariant monitors",
         description=(
@@ -242,7 +254,7 @@ def run_fault_tolerance(seed: int = 1) -> ExperimentResult:
         "recovery 1st s": 1.0,
         "recovery": HORIZON - T_UP,
     }
-    for algorithm in ("SFQ", "WFQ"):
+    for algorithm in algorithms:
         received, monitors, info = run_outage_scenario(algorithm, seed=seed)
         fairness_violations = (
             len(monitors.fairness.violations) if monitors.fairness else 0
@@ -287,16 +299,19 @@ def run_fault_tolerance(seed: int = 1) -> ExperimentResult:
             + ("ok" if scenarios[algorithm]["conservation_ok"] else "BROKEN")
         )
 
-    churn_stats, churn_monitors = run_churn_scenario(seed=seed)
-    result.note(
-        f"churn scenario (SFQ): {churn_stats['joins']} joins / "
-        f"{churn_stats['leaves']} leaves, {churn_stats['outages']} outages "
-        f"({churn_stats['downtime']:.2f}s down, drop-on-recovery), "
-        f"{churn_stats['dropped']} packets dropped, "
-        f"{len(churn_monitors.violations)} invariant violations"
-    )
     result.data["scenarios"] = scenarios
-    result.data["churn"] = churn_stats
-    result.data["churn_violations"] = [str(v) for v in churn_monitors.violations]
+    if include_churn:
+        churn_stats, churn_monitors = run_churn_scenario(seed=seed)
+        result.note(
+            f"churn scenario (SFQ): {churn_stats['joins']} joins / "
+            f"{churn_stats['leaves']} leaves, {churn_stats['outages']} outages "
+            f"({churn_stats['downtime']:.2f}s down, drop-on-recovery), "
+            f"{churn_stats['dropped']} packets dropped, "
+            f"{len(churn_monitors.violations)} invariant violations"
+        )
+        result.data["churn"] = churn_stats
+        result.data["churn_violations"] = [
+            str(v) for v in churn_monitors.violations
+        ]
     result.data["seed"] = seed
     return result

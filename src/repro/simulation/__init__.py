@@ -11,7 +11,7 @@ experiment in the reproduction runs: a heapq-based event loop
 from repro.simulation.engine import Simulator
 from repro.simulation.events import Event, EventCancelled
 from repro.simulation.process import Process, Until, Waiter, spawn
-from repro.simulation.random import RandomStreams
+from repro.simulation.random import RandomStreams, derive_seed
 from repro.simulation.tracing import (
     ColumnarTracer,
     NullTracer,
@@ -25,6 +25,7 @@ __all__ = [
     "Event",
     "EventCancelled",
     "RandomStreams",
+    "derive_seed",
     "PacketRecord",
     "Tracer",
     "NullTracer",

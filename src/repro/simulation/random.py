@@ -11,9 +11,28 @@ scheduler's internals make.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import zlib
 from typing import Dict, Iterator
+
+
+def derive_seed(*parts: object) -> int:
+    """Derive a stable 63-bit seed from arbitrary components.
+
+    The campaign runner (:mod:`repro.experiments.campaign`) shards a
+    sweep into (experiment, params, seed-slot) work items and seeds each
+    shard with ``derive_seed(...)`` over the shard's canonical key. The
+    hash is SHA-256 over the ``str()`` forms joined with an unlikely
+    separator, so the result depends only on the *values* — never on
+    worker count, completion order, process ids, or Python's randomized
+    ``hash()`` — and two shards differing in any component get
+    independent RNG universes (each ultimately feeding a
+    :class:`RandomStreams`).
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 class RandomStreams:

@@ -74,3 +74,41 @@ def constant_link(scheduler: Scheduler, rate: float) -> Tuple[Simulator, Link]:
     sim = Simulator()
     link = Link(sim, scheduler, ConstantCapacity(rate))
     return sim, link
+
+
+# ---------------------------------------------------------------------------
+# Synthetic campaign experiments (injected via run_campaign(targets=...))
+
+
+def run_tiny(seed: int = 0, label: str = "tiny") -> "ExperimentResult":
+    """A fast deterministic experiment for campaign-runner tests."""
+    from repro.experiments.harness import ExperimentResult
+
+    result = ExperimentResult(
+        experiment=f"synthetic {label}",
+        description="campaign test shard",
+        headers=["label", "seed", "value"],
+    )
+    result.add_row(label, seed, seed % 97)
+    result.data["seed"] = seed
+    return result
+
+
+def run_boom(seed: int = 0) -> "ExperimentResult":
+    """A shard that raises (deterministic failure, never retried)."""
+    raise RuntimeError(f"boom (seed={seed})")
+
+
+def run_exit(seed: int = 0, code: int = 3) -> "ExperimentResult":
+    """A shard that kills its worker process outright (crash path)."""
+    import os
+
+    os._exit(code)
+
+
+def run_sleepy(seed: int = 0, seconds: float = 30.0) -> "ExperimentResult":
+    """A shard that blocks long enough to trip any test timeout."""
+    import time
+
+    time.sleep(seconds)
+    return run_tiny(seed, label="sleepy")

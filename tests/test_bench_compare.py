@@ -1,0 +1,85 @@
+"""Unit tests for scripts/bench_compare.py's regression gate.
+
+Loaded via importlib (the script is not an installed module). The key
+behavior under test: sub-millisecond latency metrics are exempt from
+the 30% gate (CI timer noise swamps them), while throughput metrics and
+above-floor latencies are always gated.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+
+
+@pytest.fixture(scope="module")
+def bench_compare():
+    spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _payload(**metrics):
+    return {"section": dict(metrics)}
+
+
+def test_sub_floor_latency_regression_is_exempt(bench_compare, capsys):
+    # 10x regression, but both sides are ~microseconds: noise, not a gate.
+    baseline = _payload(optimized_dequeue_ns_per_packet=200.0)
+    fresh = _payload(optimized_dequeue_ns_per_packet=2000.0)
+    failures = bench_compare.compare(baseline, fresh, threshold=0.30)
+    assert failures == []
+    assert "exempt" in capsys.readouterr().out
+
+
+def test_above_floor_latency_regression_fails(bench_compare):
+    baseline = _payload(optimized_dequeue_ns_per_packet=2e6)  # 2 ms
+    fresh = _payload(optimized_dequeue_ns_per_packet=4e6)
+    failures = bench_compare.compare(baseline, fresh, threshold=0.30)
+    assert len(failures) == 1
+    path, base, new, regression = failures[0]
+    assert path.endswith("optimized_dequeue_ns_per_packet")
+    assert regression == pytest.approx(1.0)
+
+
+def test_latency_straddling_floor_is_gated(bench_compare):
+    # A metric that *grows past* the floor is a real regression: the
+    # exemption requires both sides below the floor.
+    baseline = _payload(optimized_dequeue_ns_per_packet=5e5)  # 0.5 ms
+    fresh = _payload(optimized_dequeue_ns_per_packet=5e6)  # 5 ms
+    failures = bench_compare.compare(baseline, fresh, threshold=0.30)
+    assert len(failures) == 1
+
+
+def test_throughput_regression_never_exempt(bench_compare):
+    # Tiny absolute values, but throughput is not a timer reading.
+    baseline = _payload(optimized_pipeline_pkts_per_sec=1000.0)
+    fresh = _payload(optimized_pipeline_pkts_per_sec=500.0)
+    failures = bench_compare.compare(baseline, fresh, threshold=0.30)
+    assert len(failures) == 1
+
+
+def test_improvements_and_small_changes_pass(bench_compare):
+    baseline = _payload(
+        optimized_dequeue_ns_per_packet=2e6,
+        optimized_pipeline_pkts_per_sec=1000.0,
+    )
+    fresh = _payload(
+        optimized_dequeue_ns_per_packet=1e6,  # 2x faster
+        optimized_pipeline_pkts_per_sec=900.0,  # -10%: under threshold
+    )
+    assert bench_compare.compare(baseline, fresh, threshold=0.30) == []
+
+
+def test_floor_is_configurable(bench_compare):
+    baseline = _payload(optimized_dequeue_ns_per_packet=200.0)
+    fresh = _payload(optimized_dequeue_ns_per_packet=2000.0)
+    failures = bench_compare.compare(
+        baseline, fresh, threshold=0.30, floor_ns=100.0
+    )
+    assert len(failures) == 1

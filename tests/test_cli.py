@@ -1,10 +1,23 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface and the experiment registry."""
 
 from __future__ import annotations
 
+import importlib
+import inspect
+import pkgutil
+
 import pytest
 
-from repro.cli import _RUNNERS, _load, build_parser, main, run_experiment
+import repro.experiments
+from repro.cli import (
+    _RUNNERS,
+    _load,
+    _parse_only,
+    build_parser,
+    main,
+    run_experiment,
+)
+from repro.experiments import DESCRIPTIONS, REGISTRY, resolve_target
 from repro.experiments.harness import ExperimentResult
 
 
@@ -56,3 +69,90 @@ def test_parser_rejects_unknown_experiment():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# Registry completeness
+
+
+#: Experiment-package modules that intentionally expose run_* functions
+#: without being registry entries (infrastructure, not experiments).
+_NON_EXPERIMENT_MODULES = {"harness", "charts", "bench", "campaign"}
+
+
+def test_every_experiment_module_is_registered():
+    """Adding a run_* module without a registry entry is a bug: the CLI,
+    campaign runner, and report would all silently skip it."""
+    registered_modules = {
+        target.partition(":")[0].rsplit(".", 1)[-1]
+        for target in REGISTRY.values()
+    }
+    for info in pkgutil.iter_modules(repro.experiments.__path__):
+        if info.name.startswith("_") or info.name in _NON_EXPERIMENT_MODULES:
+            continue
+        module = importlib.import_module(f"repro.experiments.{info.name}")
+        has_runner = any(
+            name.startswith("run_") and inspect.isfunction(obj)
+            for name, obj in vars(module).items()
+            if getattr(obj, "__module__", "") == module.__name__
+        )
+        if has_runner:
+            assert info.name in registered_modules, (
+                f"repro.experiments.{info.name} defines run_* functions but "
+                "no REGISTRY entry points at it"
+            )
+
+
+def test_registry_targets_resolve_and_names_match_descriptions():
+    assert set(REGISTRY) == set(DESCRIPTIONS)
+    for name, target in REGISTRY.items():
+        func = resolve_target(target)
+        assert callable(func), name
+
+
+# ---------------------------------------------------------------------------
+# Campaign subcommand
+
+
+def test_campaign_parser_flags():
+    args = build_parser().parse_args(
+        ["campaign", "--jobs", "4", "--seeds", "5", "--only", "table1,figure1",
+         "--no-cache", "--timeout", "30"]
+    )
+    assert args.command == "campaign"
+    assert args.jobs == 4
+    assert args.seeds == 5
+    assert args.only == "table1,figure1"
+    assert args.no_cache is True
+    assert args.timeout == 30.0
+
+
+def test_parse_only_accepts_commas_and_spaces():
+    assert _parse_only("table1,figure1") == ["table1", "figure1"]
+    assert _parse_only("table1 figure1") == ["table1", "figure1"]
+    assert _parse_only(None) is None
+
+
+def test_parse_only_rejects_unknown():
+    with pytest.raises(SystemExit, match="bogus"):
+        _parse_only("table1,bogus")
+
+
+def test_campaign_command_end_to_end(tmp_path, capsys):
+    code = main([
+        "campaign", "--only", "example1,example2", "--jobs", "1",
+        "--results-dir", str(tmp_path), "--quiet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "campaign: 2 shards (2 ok, 0 failed)" in out
+    assert (tmp_path / "campaign_manifest.json").exists()
+    assert (tmp_path / "campaign_summary.md").exists()
+    # Second run is served entirely from the cache.
+    code = main([
+        "campaign", "--only", "example1,example2", "--jobs", "1",
+        "--results-dir", str(tmp_path), "--quiet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 served from cache" in out

@@ -1,0 +1,142 @@
+"""ExperimentResult construction validation + lossless JSON round-trip.
+
+The campaign cache stores shard results as JSON; a cached shard must be
+indistinguishable from a fresh one. The round-trip test below is
+parametrized over the *entire* experiment registry, so any experiment
+that starts putting an unserializable object into ``data`` fails here
+before it can corrupt the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments import ACCEPTS_SEED, REGISTRY, load_experiment
+from repro.experiments.harness import (
+    ExperimentResult,
+    decode_value,
+    encode_value,
+)
+
+# ---------------------------------------------------------------------------
+# Construction validation (regression: header-less render() crash)
+
+
+def test_rows_without_headers_rejected_at_construction():
+    with pytest.raises(ValueError, match="no header columns"):
+        ExperimentResult("x", "d", headers=[], rows=[[1, 2]])
+
+
+def test_add_row_on_empty_headers_raises():
+    result = ExperimentResult("x", "d", headers=[])
+    with pytest.raises(ValueError, match="no header columns"):
+        result.add_row(1, 2, 3)
+    assert result.rows == []  # nothing silently appended
+    assert result.render()  # still renders (title + description)
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError, match="2 cells"):
+        ExperimentResult("x", "d", headers=["a", "b", "c"], rows=[[1, 2]])
+    result = ExperimentResult("x", "d", headers=["a", "b"])
+    with pytest.raises(ValueError, match="columns"):
+        result.add_row(1)
+
+
+# ---------------------------------------------------------------------------
+# Codec unit tests
+
+
+@dataclass
+class _Point:
+    x: int
+    label: str
+    weights: tuple
+
+
+def test_codec_tuples_round_trip():
+    value = (1, "two", 3.0, (4, 5))
+    decoded = decode_value(encode_value(value))
+    assert decoded == value
+    assert isinstance(decoded, tuple)
+    assert isinstance(decoded[3], tuple)
+
+
+def test_codec_non_string_dict_keys():
+    value = {(1, 2): "pair", 3: "int", "s": "str"}
+    decoded = decode_value(encode_value(value))
+    assert decoded == value
+    assert set(map(type, decoded)) == {tuple, int, str}
+
+
+def test_codec_bool_is_not_int():
+    decoded = decode_value(encode_value({"flag": True, "count": 1}))
+    assert decoded["flag"] is True
+    assert decoded["count"] == 1 and decoded["count"] is not True
+
+
+def test_codec_dataclass_round_trip():
+    value = _Point(x=1, label="p", weights=(0.5, 0.5))
+    decoded = decode_value(encode_value(value))
+    assert decoded == value
+    assert isinstance(decoded, _Point)
+    assert isinstance(decoded.weights, tuple)
+
+
+def test_codec_sentinel_key_collision_survives():
+    value = {"__tuple__": [1, 2], "normal": 3}
+    assert decode_value(encode_value(value)) == value
+
+
+def test_codec_rejects_unserializable():
+    with pytest.raises(TypeError, match="losslessly"):
+        encode_value({"bad": object()})
+
+
+def test_codec_nested_kitchen_sink():
+    value = {
+        "runs": [_Point(1, "a", (1.0,)), _Point(2, "b", (2.0, 3.0))],
+        "series": {0: [(1, 2), (3, 4)], 1: []},
+        ("SFQ", "WFQ"): {"delta": -0.5},
+    }
+    assert decode_value(encode_value(value)) == value
+
+
+# ---------------------------------------------------------------------------
+# Full registry round-trip: to_json -> from_json -> render byte-identical
+
+#: Down-scaled kwargs so the slowest experiments (figure2b alone takes
+#: >2 min at paper scale) stay test-sized; the *shape* of the payload —
+#: dataclasses, tuple keys, nested series — is what the codec must
+#: survive, and that is scale-independent.
+SCALE = {
+    "figure2b": {"n_low_values": (4,), "duration": 40.0},
+    "delay": {"horizon": 15.0},
+    "e2e": {"max_hops": 3, "horizon": 6.0},
+    "ebf": {"n_runs": 3, "horizon": 12.0},
+    "robust-figure2b": {"seeds": (11, 12), "duration": 40.0},
+}
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_round_trip_is_lossless_for_every_experiment(name):
+    runner = load_experiment(name)
+    kwargs = dict(SCALE.get(name, {}))
+    if name in ACCEPTS_SEED:
+        kwargs.setdefault("seed", 7)
+    result = runner(**kwargs)
+
+    text = result.to_json()
+    restored = ExperimentResult.from_json(text)
+
+    assert restored.render() == result.render()
+    assert restored.experiment == result.experiment
+    assert restored.headers == result.headers
+    assert restored.rows == result.rows
+    assert restored.notes == result.notes
+    assert restored.data == result.data
+    # Serialization is stable: re-encoding the decoded result is
+    # byte-identical (the cache key's contract).
+    assert restored.to_json() == text
