@@ -182,14 +182,14 @@ def generate_report(
     ]
     failures: List[str] = []
     for name in names:
-        start = time.perf_counter()
+        start = time.perf_counter()  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
         try:
             result = run_experiment(name, seed=seed)
         except Exception as exc:  # noqa: BLE001 - reported, not hidden
             failures.append(f"{name}: {exc!r}")
             sections.append(f"## {name}\n\n*FAILED: {exc!r}*\n")
             continue
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
         sections.append(_to_markdown(result))
         sections.append(f"*({elapsed:.2f}s simulated-experiment wall time)*\n")
     bench = _bench_section()

@@ -162,6 +162,8 @@ class ReservationManager:
 
     def configure_scheduler(self, scheduler) -> None:
         """Install all admitted flows (with their rates) on a scheduler."""
-        for reservation in self.reservations.values():
+        # Insertion-ordered dict: admission order is part of the model
+        # and flow ids may be of mixed (unsortable) types.
+        for reservation in self.reservations.values():  # lint: disable=DET003  dict preserves deterministic admit order
             if reservation.flow_id not in scheduler.flows:
                 scheduler.add_flow(reservation.flow_id, reservation.rate)

@@ -137,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--bench-output", default="BENCH_campaign.json",
         help="path for --bench output (default BENCH_campaign.json)",
     )
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism & scheduler-invariant analysis "
+             "(DET*/TAG*/PERF* rules; see HACKING.md)",
+    )
+    from repro.lint.cli import build_lint_parser
+
+    build_lint_parser(lint)
     return parser
 
 
@@ -284,6 +292,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if failures else 0
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     if args.experiment == "all":
         return _run_all(args)
     result = run_experiment(

@@ -27,7 +27,7 @@ Protocol
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.flow import FlowState
 from repro.core.packet import Packet
@@ -39,6 +39,15 @@ class SchedulerError(Exception):
 
 class Scheduler(ABC):
     """Base class for all queueing disciplines."""
+
+    __slots__ = (
+        "flows",
+        "auto_register",
+        "default_weight",
+        "_backlog_packets",
+        "_backlog_bits",
+        "in_service",
+    )
 
     #: Human-readable algorithm name (e.g. "SFQ"); overridden by subclasses.
     algorithm = "abstract"
@@ -147,7 +156,7 @@ class Scheduler(ABC):
             self._backlog_bits -= packet.length
         return packet
 
-    def _do_discard_tail(self, state: FlowState):
+    def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
         raise NotImplementedError(
             f"{self.algorithm} does not support discard_tail(); use "
             "drop-tail buffering with it"
@@ -217,8 +226,10 @@ class TieBreak:
     delay. Rules map ``(state, packet)`` to a sortable secondary key.
     """
 
+    __slots__ = ()
+
     @staticmethod
-    def fifo(state: FlowState, packet: Packet) -> Tuple:
+    def fifo(state: FlowState, packet: Packet) -> Tuple[Any, ...]:
         """Ties broken by arrival order (the default)."""
         return ()
 

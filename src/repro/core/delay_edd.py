@@ -37,6 +37,8 @@ class DelayEDD(HeadHeapScheduler):
     flow has a deadline parameter :math:`d_f` in addition to its rate).
     """
 
+    __slots__ = ("deadlines",)
+
     algorithm = "DelayEDD"
 
     def __init__(
@@ -72,9 +74,10 @@ class DelayEDD(HeadHeapScheduler):
             )
         rate = state.packet_rate(packet)
         eat = state.eat.on_arrival(now, packet.length, rate)
-        packet.deadline = eat + deadline_offset
+        deadline = eat + deadline_offset
+        packet.deadline = deadline
         packet.start_tag = eat
-        return packet.deadline
+        return deadline
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.deadline
+        return packet.deadline  # type: ignore[return-value]  # stamped on enqueue

@@ -42,6 +42,8 @@ class _DRRState:
 class DRR(Scheduler):
     """Deficit Round Robin."""
 
+    __slots__ = ("quantum_scale", "_active", "_current")
+
     algorithm = "DRR"
 
     def __init__(
@@ -62,9 +64,11 @@ class DRR(Scheduler):
         return state.weight * self.quantum_scale
 
     def _drr(self, state: FlowState) -> _DRRState:
-        if state.user is None or not isinstance(state.user, _DRRState):
-            state.user = _DRRState()
-        return state.user
+        drr = state.user
+        if not isinstance(drr, _DRRState):
+            drr = _DRRState()
+            state.user = drr
+        return drr
 
     # ------------------------------------------------------------------
     def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
@@ -121,6 +125,8 @@ class WRR(Scheduler):
     normalized to integers: flow f may send up to ``round(weight_f /
     min_weight)`` packets per round visit.
     """
+
+    __slots__ = ("_active", "_current", "_remaining")
 
     algorithm = "WRR"
 

@@ -58,6 +58,18 @@ class _FAFlow:
 class FairAirport(Scheduler):
     """Fair Airport scheduler: Virtual Clock GSQ + SFQ ASQ + regulators."""
 
+    __slots__ = (
+        "_fa",
+        "_asq_heap",
+        "_gsq_heap",
+        "_release_heap",
+        "_gone",
+        "v",
+        "_max_served_finish",
+        "served_via_gsq",
+        "served_via_asq",
+    )
+
     algorithm = "FairAirport"
 
     def __init__(self, auto_register: bool = True, default_weight: float = 1.0) -> None:
@@ -140,10 +152,11 @@ class FairAirport(Scheduler):
             rate = state.packet_rate(packet)
             # Commit the GSQ EAT chain (rule 5 says the packet will
             # now be served via GSQ only).
-            fa.rc_clock = release + packet.length / rate
+            stamp = release + packet.length / rate
+            fa.rc_clock = stamp
             packet.eligible_at = release
-            packet.timestamp = fa.rc_clock  # EAT + l/r (rule 3)
-            heapq.heappush(self._gsq_heap, (packet.timestamp, packet.uid, packet))
+            packet.timestamp = stamp  # EAT + l/r (rule 3)
+            heapq.heappush(self._gsq_heap, (stamp, packet.uid, packet))
             self._push_release(flow_id, fa)
 
     def _serve_gsq(self) -> Packet:
@@ -162,12 +175,15 @@ class FairAirport(Scheduler):
         """Rule 5: the flow's next ASQ packet takes the removed packet's
         start tag (keeping SFQ's Lemma 1/2 machinery valid)."""
         nxt = state.head()
-        if nxt is None or nxt.start_tag == removed.start_tag:
+        start = removed.start_tag
+        # Exact-copy comparison: an already-inherited tag IS the same
+        # float object/value, never the result of different arithmetic.
+        if nxt is None or start is None or nxt.start_tag == start:  # lint: disable=TAG001  exact copy, not recomputed arithmetic
             return
         rate = state.packet_rate(nxt)
-        nxt.start_tag = removed.start_tag
-        nxt.finish_tag = nxt.start_tag + nxt.length / rate
-        heapq.heappush(self._asq_heap, (nxt.start_tag, nxt.uid, nxt))
+        nxt.start_tag = start
+        nxt.finish_tag = start + nxt.length / rate
+        heapq.heappush(self._asq_heap, (start, nxt.uid, nxt))
 
     def _serve_asq(self) -> Optional[Packet]:
         heap = self._asq_heap
@@ -176,7 +192,7 @@ class FairAirport(Scheduler):
             if uid in self._gone:
                 self._gone.discard(uid)
                 continue
-            if packet.start_tag != start:
+            if packet.start_tag != start:  # lint: disable=TAG001  exact copy of the tag pushed with this entry
                 continue  # stale entry superseded by rule-5 inheritance
             state = self.flows[packet.flow]
             popped = state.pop()

@@ -18,6 +18,8 @@ from repro.core.packet import Packet
 class FIFO(Scheduler):
     """First-in first-out across all flows."""
 
+    __slots__ = ("_queue",)
+
     algorithm = "FIFO"
 
     def __init__(self, auto_register: bool = True, default_weight: float = 1.0) -> None:

@@ -31,7 +31,7 @@ Virtual Clock, Delay EDD and the delay-bound analysis all need it:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Hashable, Optional
+from typing import Any, Deque, Hashable, List, Optional, Tuple
 
 from repro.core.packet import Packet
 
@@ -97,9 +97,9 @@ class FlowState:
         self.eat = EATTracker()
         self.user: Optional[object] = None  # scheduler-specific scratch
         #: Live flow-head heap entry (HeadHeapScheduler scratch), or None.
-        self.heap_entry: Optional[list] = None
+        self.heap_entry: Optional[List[Any]] = None
         #: Parallel deque of tie-break keys (non-FIFO tie rules only).
-        self.tie_keys: Optional[Deque] = None
+        self.tie_keys: Optional[Deque[Tuple[Any, ...]]] = None
 
     @property
     def weight(self) -> float:

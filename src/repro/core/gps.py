@@ -30,6 +30,18 @@ from typing import Dict, Hashable, List, Tuple
 class GPSVirtualClock:
     """Piecewise-linear fluid GPS virtual time."""
 
+    __slots__ = (
+        "capacity",
+        "v",
+        "v_time",
+        "_active",
+        "_sum_weights",
+        "_heap",
+        "pieces_computed",
+        "retirements",
+        "max_pieces_single_advance",
+    )
+
     def __init__(self, capacity: float) -> None:
         if capacity <= 0:
             raise ValueError(f"assumed capacity must be positive, got {capacity}")

@@ -50,13 +50,18 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.base import Scheduler, SchedulerError, TieBreak
 from repro.core.flow import FlowState
 from repro.core.packet import Packet
 
-TieBreakRule = Callable[[FlowState, Packet], Tuple]
+TieBreakRule = Callable[[FlowState, Packet], Tuple[Any, ...]]
+
+#: A 5-slot mutable heap entry ``[key, tie_key, uid, packet, state]``
+#: (``entry[3] is None`` marks lazy invalidation). Heterogeneous by
+#: design — a list so invalidation can happen in place.
+HeapEntry = List[Any]
 
 __all__ = ["HeadHeapScheduler"]
 
@@ -80,6 +85,8 @@ class HeadHeapScheduler(Scheduler):
     invalidated entry has ``entry[3] is None``.
     """
 
+    __slots__ = ("_tie_break", "_fifo_ties", "_head_heap", "debug_checks")
+
     def __init__(
         self,
         tie_break: TieBreakRule = TieBreak.fifo,
@@ -91,7 +98,7 @@ class HeadHeapScheduler(Scheduler):
         self._tie_break = tie_break
         self._fifo_ties = tie_break is TieBreak.fifo
         #: Heap of live flow-head entries (at most one per backlogged flow).
-        self._head_heap: List[list] = []
+        self._head_heap: List[HeapEntry] = []
         #: When True, re-verify the head-heap/FIFO invariant per dequeue
         #: and raise SchedulerError on corruption (seed behavior: assert).
         self.debug_checks = bool(debug_checks)
@@ -122,7 +129,7 @@ class HeadHeapScheduler(Scheduler):
         if length > state.max_length_seen:
             state.max_length_seen = length
         if self._fifo_ties:
-            tie: Tuple = ()
+            tie: Tuple[Any, ...] = ()
         else:
             tie = self._tie_break(state, packet)
             keys = state.tie_keys
@@ -131,11 +138,11 @@ class HeadHeapScheduler(Scheduler):
             keys.append(tie)
         if len(queue) == 1:
             # The flow just became backlogged: its head enters the heap.
-            entry = [key, tie, packet.uid, packet, state]
+            entry: HeapEntry = [key, tie, packet.uid, packet, state]
             state.heap_entry = entry
             heapq.heappush(self._head_heap, entry)
 
-    def _pop_min_entry(self) -> Optional[list]:
+    def _pop_min_entry(self) -> Optional[HeapEntry]:
         """Pop the live minimum entry, purging invalidated ones."""
         heap = self._head_heap
         while heap:
@@ -144,10 +151,10 @@ class HeadHeapScheduler(Scheduler):
                 return entry
         return None
 
-    def _consume_entry(self, entry: list) -> Packet:
+    def _consume_entry(self, entry: HeapEntry) -> Packet:
         """Dequeue the entry's packet and re-offer the flow's next head."""
-        packet = entry[3]
-        state = entry[4]
+        packet: Packet = entry[3]
+        state: FlowState = entry[4]
         state.heap_entry = None
         queue = state.queue
         head = queue.popleft()
@@ -159,11 +166,12 @@ class HeadHeapScheduler(Scheduler):
         if self._fifo_ties:
             if queue:
                 nxt = queue[0]
-                fresh = [self._head_key(nxt), (), nxt.uid, nxt, state]
+                fresh: HeapEntry = [self._head_key(nxt), (), nxt.uid, nxt, state]
                 state.heap_entry = fresh
                 heapq.heappush(self._head_heap, fresh)
         else:
             keys = state.tie_keys
+            assert keys is not None  # non-FIFO enqueue always fills it
             keys.popleft()
             if queue:
                 nxt = queue[0]

@@ -30,9 +30,10 @@ allocation".
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.core.base import Scheduler, SchedulerError
+from repro.core.flow import FlowState
 from repro.core.packet import Packet
 from repro.core.sfq import SFQ
 
@@ -41,6 +42,18 @@ SchedulerFactory = Callable[[], Scheduler]
 
 class SchedClass:
     """One node of the link-sharing tree."""
+
+    __slots__ = (
+        "name",
+        "weight",
+        "scheduler",
+        "parent",
+        "children",
+        "offered",
+        "offer_wrapper",
+        "bits_served",
+        "packets_served",
+    )
 
     def __init__(
         self,
@@ -139,6 +152,8 @@ class HierarchicalScheduler(Scheduler):
         hs.attach_flow("f1", "C", weight=1.0)
         hs.attach_flow("f2", "D", weight=1.0)
     """
+
+    __slots__ = ("_node_factory", "root", "_classes", "_flow_to_leaf")
 
     algorithm = "Hierarchical"
 
@@ -283,10 +298,12 @@ class HierarchicalScheduler(Scheduler):
         return node.offered
 
     # The abstract hooks are bypassed by the overridden public methods.
-    def _do_enqueue(self, state, packet, now):  # pragma: no cover
+    def _do_enqueue(
+        self, state: FlowState, packet: Packet, now: float
+    ) -> None:  # pragma: no cover
         raise NotImplementedError
 
-    def _do_dequeue(self, now):  # pragma: no cover
+    def _do_dequeue(self, now: float) -> Optional[Packet]:  # pragma: no cover
         raise NotImplementedError
 
     # ------------------------------------------------------------------

@@ -32,6 +32,8 @@ from repro.core.packet import Packet
 class JitterEDD(Scheduler):
     """Rate-controlled earliest-deadline-first (non-work-conserving)."""
 
+    __slots__ = ("deadlines", "_held", "_ready")
+
     algorithm = "JitterEDD"
 
     def __init__(self, auto_register: bool = False, default_weight: float = 1.0) -> None:
@@ -68,7 +70,8 @@ class JitterEDD(Scheduler):
     def _promote(self, now: float) -> None:
         while self._held and self._held[0][0] <= now + 1e-12:
             _eligible, uid, packet = heapq.heappop(self._held)
-            heapq.heappush(self._ready, (packet.deadline, uid, packet))
+            deadline: float = packet.deadline  # type: ignore[assignment]  # stamped on enqueue
+            heapq.heappush(self._ready, (deadline, uid, packet))
 
     def _do_dequeue(self, now: float) -> Optional[Packet]:
         self._promote(now)

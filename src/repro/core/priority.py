@@ -17,11 +17,14 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.core.base import Scheduler, SchedulerError
+from repro.core.flow import FlowState
 from repro.core.packet import Packet
 
 
 class PriorityBands(Scheduler):
     """Strict priority over a list of inner schedulers."""
+
+    __slots__ = ("bands", "_flow_band", "_packet_band")
 
     algorithm = "PriorityBands"
 
@@ -83,8 +86,10 @@ class PriorityBands(Scheduler):
         return self.bands[band].flow_backlog(flow_id)
 
     # The abstract hooks are bypassed by the overridden public methods.
-    def _do_enqueue(self, state, packet, now):  # pragma: no cover
+    def _do_enqueue(
+        self, state: FlowState, packet: Packet, now: float
+    ) -> None:  # pragma: no cover
         raise NotImplementedError
 
-    def _do_dequeue(self, now):  # pragma: no cover
+    def _do_dequeue(self, now: float) -> Optional[Packet]:  # pragma: no cover
         raise NotImplementedError

@@ -29,6 +29,8 @@ from repro.core.packet import Packet
 class SCFQ(HeadHeapScheduler):
     """Self-Clocked Fair Queuing."""
 
+    __slots__ = ("v", "_max_served_finish")
+
     algorithm = "SCFQ"
 
     def __init__(
@@ -62,12 +64,12 @@ class SCFQ(HeadHeapScheduler):
         return finish
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag
+        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
 
     def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
         # Self-clocking: v(t) approximates GPS round number with the
         # finish tag of the packet in service.
-        finish = packet.finish_tag
+        finish: float = packet.finish_tag  # type: ignore[assignment]  # stamped on enqueue
         self.v = finish
         if finish > self._max_served_finish:
             self._max_served_finish = finish
@@ -79,7 +81,9 @@ class SCFQ(HeadHeapScheduler):
     def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
         packet = self._pop_tail(state)
         tail = state.queue[-1] if state.queue else None
-        state.last_finish = tail.finish_tag if tail is not None else packet.start_tag
+        state.last_finish = (  # type: ignore[assignment]  # tags stamped on enqueue
+            tail.finish_tag if tail is not None else packet.start_tag
+        )
         return packet
 
     @property

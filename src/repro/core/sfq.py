@@ -58,6 +58,8 @@ class SFQ(HeadHeapScheduler):
         exercised by the trace-equivalence suite.
     """
 
+    __slots__ = ("v", "_max_served_finish")
+
     algorithm = "SFQ"
 
     def __init__(
@@ -94,11 +96,11 @@ class SFQ(HeadHeapScheduler):
         return start
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.start_tag
+        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
 
     def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
         # Rule 2: v(t) is the start tag of the packet in service.
-        self.v = packet.start_tag
+        self.v = packet.start_tag  # type: ignore[assignment]  # stamped on enqueue
         finish = packet.finish_tag
         if finish is not None and finish > self._max_served_finish:
             self._max_served_finish = finish
@@ -114,7 +116,9 @@ class SFQ(HeadHeapScheduler):
         # Re-chain future arrivals off the new tail so no virtual-time
         # gap is left where the discarded packet sat.
         tail = state.queue[-1] if state.queue else None
-        state.last_finish = tail.finish_tag if tail is not None else packet.start_tag
+        state.last_finish = (  # type: ignore[assignment]  # tags stamped on enqueue
+            tail.finish_tag if tail is not None else packet.start_tag
+        )
         return packet
 
     @property

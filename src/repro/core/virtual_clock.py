@@ -24,6 +24,8 @@ from repro.core.packet import Packet
 class VirtualClock(HeadHeapScheduler):
     """Virtual Clock scheduler."""
 
+    __slots__ = ()
+
     algorithm = "VirtualClock"
 
     def __init__(
@@ -51,4 +53,4 @@ class VirtualClock(HeadHeapScheduler):
         return stamp
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.timestamp
+        return packet.timestamp  # type: ignore[return-value]  # stamped on enqueue

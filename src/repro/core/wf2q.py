@@ -35,12 +35,14 @@ from typing import List, Optional
 
 from repro.core.flow import FlowState
 from repro.core.gps import GPSVirtualClock
-from repro.core.headheap import HeadHeapScheduler
+from repro.core.headheap import HeadHeapScheduler, HeapEntry
 from repro.core.packet import Packet
 
 
 class WF2Q(HeadHeapScheduler):
     """Worst-case Fair Weighted Fair Queueing (work-conserving variant)."""
+
+    __slots__ = ("gps",)
 
     algorithm = "WF2Q"
 
@@ -75,7 +77,7 @@ class WF2Q(HeadHeapScheduler):
         return finish
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag
+        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
 
     def _do_dequeue(self, now: float) -> Optional[Packet]:
         heap = self._head_heap
@@ -85,8 +87,8 @@ class WF2Q(HeadHeapScheduler):
             return None
         v = self.gps.advance(now)
         # Pop ineligible flow heads aside until an eligible one surfaces.
-        shelved: List[list] = []
-        chosen: Optional[list] = None
+        shelved: List[HeapEntry] = []
+        chosen: Optional[HeapEntry] = None
         while heap:
             entry = heapq.heappop(heap)
             packet = entry[3]

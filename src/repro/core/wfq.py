@@ -39,6 +39,8 @@ class WFQ(HeadHeapScheduler):
         that differs from reality reproduces Example 2's unfairness.
     """
 
+    __slots__ = ("gps",)
+
     algorithm = "WFQ"
 
     def __init__(
@@ -76,10 +78,10 @@ class WFQ(HeadHeapScheduler):
 
     def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         self._stamp(state, packet, now)
-        return packet.finish_tag
+        return packet.finish_tag  # type: ignore[return-value]  # stamped by _stamp
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag
+        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
 
     @property
     def virtual_time(self) -> float:
@@ -96,10 +98,12 @@ class FQS(WFQ):
     variable-rate servers) with no delay advantage over SFQ.
     """
 
+    __slots__ = ()
+
     algorithm = "FQS"
 
     def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
         return self._stamp(state, packet, now)
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.start_tag
+        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue

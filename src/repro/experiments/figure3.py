@@ -39,7 +39,7 @@ def run_figure3(
     streams = RandomStreams(seed)
     sched = SFQ(auto_register=False)
     weights = {"w1": 1.0, "w2": 2.0, "w3": 3.0}
-    for flow, weight in weights.items():
+    for flow, weight in sorted(weights.items()):
         sched.add_flow(flow, weight)
 
     capacity = FluctuationConstrainedCapacity(

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.lint`` as a standalone entry point."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,690 @@
+"""Rule registry and the built-in determinism/invariant checkers.
+
+Every rule targets a failure mode that has actually bitten (or would
+silently bite) this codebase's headline guarantees — bit-identical
+campaign shards, byte-identical trace equivalence, and the exact
+virtual-time tag arithmetic behind the paper's Theorem 1:
+
+=========  ==============================================================
+DET001     module-level / unseeded ``random`` or ``numpy.random`` use
+           outside :mod:`repro.simulation.random`
+DET002     wall-clock reads (``time.time``, ``datetime.now``,
+           ``perf_counter``, ...) outside ``benchmarks/`` / ``bench.py``
+DET003     iteration over ``set``/``dict`` views feeding heap pushes,
+           event scheduling or flow registration without ``sorted(...)``
+DET004     ``id()``-based tie-breaking inside comparators or sort keys
+TAG001     float ``==``/``!=`` on virtual-time/tag expressions
+PERF001    hot-path classes under ``repro.core``/``repro.simulation``
+           without ``__slots__``
+=========  ==============================================================
+
+Adding a rule: subclass :class:`Rule`, set ``code``/``summary``, implement
+``check``, and decorate with :func:`register` (see HACKING.md, "Static
+analysis"). Rules receive a parsed :class:`ModuleContext` and yield
+:class:`~repro.lint.findings.Finding` objects; suppression handling and
+ordering are the analyzer's job, not the rule's.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Type
+
+from repro.lint.findings import Finding
+
+__all__ = ["ModuleContext", "Rule", "RULES", "register", "all_rule_codes"]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module as seen by every rule."""
+
+    path: str  #: display path (as given by the caller)
+    source: str
+    tree: ast.Module
+    #: normalized forward-slash path used for path-scoped exemptions
+    norm_path: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.norm_path = self.path.replace("\\", "/")
+
+    def in_benchmark_code(self) -> bool:
+        """True for files exempt from wall-clock checks (DET002)."""
+        parts = self.norm_path.split("/")
+        return "benchmarks" in parts or parts[-1] == "bench.py"
+
+    def is_seeded_rng_module(self) -> bool:
+        """True for the one module allowed to touch ``random`` freely."""
+        return self.norm_path.endswith("repro/simulation/random.py")
+
+    def in_hot_path_package(self) -> bool:
+        """True for modules under ``repro/core`` or ``repro/simulation``."""
+        return (
+            "repro/core/" in self.norm_path
+            or "repro/simulation/" in self.norm_path
+        )
+
+
+class Rule:
+    """Base class for lint rules."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module. Implemented by subclasses."""
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=self.code,
+            message=message,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: Registry of rule code -> rule instance, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its ``code``) to the registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def all_rule_codes() -> Tuple[str, ...]:
+    """Every registered rule code, in registration order."""
+    return tuple(RULES)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+# ---------------------------------------------------------------------------
+# DET001 — unseeded / module-level random
+# ---------------------------------------------------------------------------
+
+
+#: random.* attributes that are fine: seeded-generator construction.
+_SEEDED_RNG_FACTORIES = {"Random", "SystemRandom"}
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Module-level ``random.*`` and any ``numpy.random`` use.
+
+    Module-level ``random`` functions draw from the interpreter-global
+    generator, whose state depends on import order and every other draw
+    in the process — exactly what made ``--jobs N`` campaign shards
+    diverge before :func:`repro.simulation.random.derive_seed`. Only
+    explicit ``random.Random(seed)`` construction (ideally via
+    :class:`repro.simulation.random.RandomStreams`) is allowed.
+    """
+
+    code = "DET001"
+    summary = "unseeded/module-level RNG use outside repro.simulation.random"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_seeded_rng_module():
+            return
+        random_aliases: Set[str] = set()
+        numpy_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+                    elif alias.name in ("numpy", "numpy.random"):
+                        numpy_aliases.add(
+                            (alias.asname or alias.name).split(".")[0]
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _SEEDED_RNG_FACTORIES:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"`from random import {alias.name}` binds the "
+                                "process-global generator; construct a seeded "
+                                "random.Random (see repro.simulation.random)",
+                            )
+                elif node.module and node.module.split(".")[0] == "numpy":
+                    if node.module.startswith("numpy.random") or any(
+                        alias.name == "random" for alias in node.names
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "numpy.random has process-global state; draw from "
+                            "a seeded stream (repro.simulation.random) instead",
+                        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                root, _, rest = dotted.partition(".")
+                if root in numpy_aliases and rest == "random":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted}` has process-global state; draw from a "
+                        "seeded stream (repro.simulation.random) instead",
+                    )
+                elif (
+                    root in random_aliases
+                    and "." not in rest
+                    and rest not in _SEEDED_RNG_FACTORIES
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted}` uses the process-global generator; draw "
+                        "from a seeded random.Random "
+                        "(see repro.simulation.random)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ---------------------------------------------------------------------------
+
+
+#: Canonical dotted names of wall-clock reads.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads outside the benchmark harness.
+
+    Simulation logic must depend only on virtual time (``sim.now``) and
+    the experiment seed; a wall-clock read anywhere on a simulation path
+    makes results machine- and load-dependent. Timing *harness* code
+    (``benchmarks/``, ``bench.py``) is exempt by path; legitimate
+    elapsed-time bookkeeping elsewhere (e.g. the campaign runner's shard
+    timings) must carry an inline ``# lint: disable=DET002`` with a
+    justification.
+    """
+
+    code = "DET002"
+    summary = "wall-clock call outside benchmarks/ or bench.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_benchmark_code():
+            return
+        # Local alias -> canonical dotted prefix.
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("time", "datetime"):
+                        aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        aliases[alias.asname or alias.name] = f"time.{alias.name}"
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        aliases[alias.asname or alias.name] = (
+                            f"datetime.{alias.name}"
+                        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            root, _, rest = dotted.partition(".")
+            canonical = aliases.get(root, root) + ("." + rest if rest else "")
+            if canonical in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call `{dotted}` — simulation code must "
+                    "depend only on sim.now and the seed (benchmarks/ and "
+                    "bench.py are exempt)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered iteration feeding scheduling
+# ---------------------------------------------------------------------------
+
+
+#: Callee names whose invocation inside a loop marks it order-sensitive.
+_SCHEDULING_SINKS = {
+    "heappush",
+    "heappop",
+    "heapify",
+    "heappushpop",
+    "heapreplace",
+    "at",
+    "after",
+    "call_at",
+    "call_after",
+    "schedule",
+    "enqueue",
+    "dequeue",
+    "send",
+    "add_flow",
+    "attach_flow",
+    "assign_flow",
+    "add_flow_with_deadline",
+    "set_weight",
+    "remove_flow",
+}
+
+#: Calls that produce hash-ordered iterables.
+_UNORDERED_FACTORIES = {"set", "frozenset"}
+_DICT_VIEW_METHODS = {"keys", "values", "items"}
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    """Syntactic evidence that iterating ``node`` is hash/insertion-order.
+
+    Detected: set displays and comprehensions, ``set()``/``frozenset()``
+    calls, dict view calls (``.keys()``/``.values()``/``.items()``), set
+    algebra on any of those, and ``list()``/``tuple()`` wrappers around
+    them (wrapping does not impose an order — only ``sorted`` does).
+    """
+    if isinstance(node, (ast.Set, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_unordered_iterable(node.left) or _is_unordered_iterable(
+            node.right
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _UNORDERED_FACTORIES:
+                return True
+            if func.id in ("list", "tuple", "iter", "reversed") and node.args:
+                return _is_unordered_iterable(node.args[0])
+            return False
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_VIEW_METHODS
+            and not node.args
+        ):
+            return True
+    return False
+
+
+def _called_sinks(body: List[ast.stmt]) -> Iterator[ast.Call]:
+    """Scheduling-sink calls anywhere inside ``body``."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _SCHEDULING_SINKS:
+                yield node
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Hash-order iteration feeding heap pushes / event scheduling.
+
+    ``for x in some_set: heappush(...)`` pushes in an order that depends
+    on hash seeding and insertion history; with equal keys (tag ties!)
+    the heap then pops in a run-dependent order. Dict views are
+    insertion-ordered, but that order is an implicit program-history
+    dependency the reader cannot see — either wrap the iterable in
+    ``sorted(...)`` or annotate the loop with
+    ``# lint: disable=DET003 <why the order is deterministic>``.
+    """
+
+    code = "DET003"
+    summary = "set/dict iteration feeding scheduling without sorted()"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_unordered_iterable(
+                node.iter
+            ):
+                for sink in _called_sinks(node.body):
+                    func = sink.func
+                    name = (
+                        func.attr
+                        if isinstance(func, ast.Attribute)
+                        else getattr(func, "id", "?")
+                    )
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "iteration order of a set/dict view reaches "
+                        f"`{name}(...)`; wrap the iterable in sorted(...) or "
+                        "justify with a disable directive",
+                    )
+                    break  # one finding per loop
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if name not in _SCHEDULING_SINKS:
+                    continue
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ) and any(
+                        _is_unordered_iterable(gen.iter)
+                        for gen in arg.generators
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"comprehension over a set/dict view feeds "
+                            f"`{name}(...)`; wrap the source in sorted(...)",
+                        )
+                        break
+                    if _is_unordered_iterable(arg) and name in (
+                        "heapify",
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "heapify over a set/dict view fixes a "
+                            "hash-dependent layout; sort first",
+                        )
+                        break
+
+
+# ---------------------------------------------------------------------------
+# DET004 — id()-based tie-breaking
+# ---------------------------------------------------------------------------
+
+
+_COMPARATOR_METHODS = {"__lt__", "__le__", "__gt__", "__ge__", "__eq__", "__ne__"}
+
+
+def _is_tiebreak_name(name: str) -> bool:
+    lowered = name.lower()
+    return (
+        name in _COMPARATOR_METHODS
+        or "tie" in lowered
+        or lowered == "key"
+        or lowered.endswith("_key")
+        or lowered.endswith("key_fn")
+    )
+
+
+def _contains_id_call(node: ast.AST) -> Iterator[ast.Call]:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "id"
+        ):
+            yield sub
+
+
+@register
+class IdTieBreakRule(Rule):
+    """``id()`` inside comparators or sort-key functions.
+
+    CPython object ids are allocation addresses: they differ across runs
+    and across workers, so an ``id()``-based tie-break silently makes
+    the schedule a function of the allocator. Use an explicit monotone
+    counter (``Packet.uid``) instead — that is exactly what the flow-head
+    heap keys on.
+    """
+
+    code = "DET004"
+    summary = "id()-based tie-breaking in a comparator or key function"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and _is_tiebreak_name(node.name):
+                for call in _contains_id_call(node):
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"id() inside `{node.name}` ties ordering to memory "
+                        "addresses, which vary per run/worker; key on an "
+                        "explicit counter (e.g. Packet.uid)",
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if keyword.arg == "key" and isinstance(
+                        keyword.value, ast.Lambda
+                    ):
+                        for call in _contains_id_call(keyword.value):
+                            yield self.finding(
+                                ctx,
+                                call,
+                                "id() inside a key= lambda ties ordering to "
+                                "memory addresses, which vary per run/worker; "
+                                "key on an explicit counter instead",
+                            )
+
+
+# ---------------------------------------------------------------------------
+# TAG001 — float equality on virtual-time/tag expressions
+# ---------------------------------------------------------------------------
+
+
+_TAG_WORDS = (
+    "start_tag",
+    "finish_tag",
+    "last_finish",
+    "virtual_time",
+    "vtime",
+    "v_time",
+    "timestamp",
+    "deadline",
+    "eligible_at",
+)
+
+
+def _mentions_tag(node: ast.AST) -> Optional[str]:
+    """The first tag-vocabulary identifier mentioned under ``node``."""
+    for sub in ast.walk(node):
+        name: Optional[str] = None
+        if isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Name):
+            name = sub.id
+        if name is None:
+            continue
+        lowered = name.lower()
+        if lowered.endswith("_tag") or lowered in _TAG_WORDS:
+            return name
+    return None
+
+
+@register
+class TagFloatEqualityRule(Rule):
+    """``==`` / ``!=`` between float tag expressions.
+
+    Virtual-time tags are chained sums of ``l/r`` terms; two chains that
+    are *mathematically* equal can differ in the last ulp, so ``==`` on
+    tags silently becomes "computed by the identical expression", which
+    breaks the moment anyone refactors the arithmetic. Compare exact
+    copies only (and say so in a disable directive), or use an explicit
+    epsilon/ordering check.
+    """
+
+    code = "TAG001"
+    summary = "float ==/!= on a virtual-time/tag expression"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            sides = [node.left, *node.comparators]
+            if any(_is_none(side) for side in sides):
+                continue  # None sentinels are identity checks, not math
+            for side in sides:
+                mentioned = _mentions_tag(side)
+                if mentioned is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"exact float equality on tag expression "
+                        f"`{mentioned}`; tags are chained l/r sums — use an "
+                        "ordering/epsilon check, or document why the values "
+                        "are exact copies",
+                    )
+                    break
+
+
+# ---------------------------------------------------------------------------
+# PERF001 — hot-path classes without __slots__
+# ---------------------------------------------------------------------------
+
+
+def _has_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "__slots__"
+                for t in stmt.targets
+            ):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def _dataclass_with_slots(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = dotted_name(decorator.func)
+            if name and name.split(".")[-1] == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _is_exempt_base(base: ast.expr) -> bool:
+    name = dotted_name(base)
+    if name is None:
+        return False
+    leaf = name.split(".")[-1]
+    return (
+        leaf.endswith("Error")
+        or leaf.endswith("Exception")
+        or leaf in ("BaseException", "Enum", "IntEnum", "Protocol", "TypedDict", "NamedTuple")
+    )
+
+
+def _assigns_instance_attrs(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not stmt.args.args:
+            continue
+        self_name = stmt.args.args[0].arg
+        for node in ast.walk(stmt):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    return True
+    return False
+
+
+@register
+class HotPathSlotsRule(Rule):
+    """Hot-path classes should declare ``__slots__``.
+
+    Everything under ``repro.core`` and ``repro.simulation`` is
+    instantiated or touched per packet/per event; ``__slots__`` removes
+    the per-instance ``__dict__`` (smaller, faster attribute access) and
+    turns attribute-name typos into hard errors instead of silent new
+    state. Exception types, slotted dataclasses and attribute-less
+    classes are exempt.
+    """
+
+    code = "PERF001"
+    summary = "hot-path class without __slots__ (repro.core / repro.simulation)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_hot_path_package():
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _has_slots(node) or _dataclass_with_slots(node):
+                continue
+            if any(_is_exempt_base(base) for base in node.bases):
+                continue
+            if not _assigns_instance_attrs(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"class `{node.name}` lives on the per-packet hot path but "
+                "has no __slots__; declare them (or justify the instance "
+                "dict with a disable directive)",
+            )

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple, cast
 
 from repro.simulation.events import Event, _sequence
 
@@ -52,9 +52,18 @@ class SimulationError(Exception):
 class Simulator:
     """Discrete-event simulator with a float-seconds clock."""
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_running",
+        "_stopped",
+        "_truncated",
+        "_events_processed",
+    )
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[tuple] = []
+        self._heap: List[Tuple[Any, ...]] = []
         self._running = False
         self._stopped = False
         self._truncated = False
@@ -169,7 +178,7 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the heap is empty."""
         self._drop_cancelled()
-        return self._heap[0][0] if self._heap else None
+        return cast(float, self._heap[0][0]) if self._heap else None
 
     def step(self) -> bool:
         """Fire the single next event. Returns False when none remain."""

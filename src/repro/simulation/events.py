@@ -11,7 +11,7 @@ breakpoints) run before or after ordinary events at the same instant.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 
 class EventCancelled(Exception):
@@ -35,7 +35,7 @@ class Event:
         self,
         time: float,
         callback: Callable[..., Any],
-        args: tuple = (),
+        args: Tuple[Any, ...] = (),
         priority: int = 0,
     ) -> None:
         self.time = time

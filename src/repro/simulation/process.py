@@ -49,6 +49,8 @@ class Waiter:
     latched), and multiple processes may wait on the same waiter.
     """
 
+    __slots__ = ("fired", "value", "_waiting")
+
     def __init__(self) -> None:
         self.fired = False
         self.value: Any = None
@@ -67,6 +69,8 @@ class Waiter:
 
 class Process:
     """A running generator process (created via :func:`spawn`)."""
+
+    __slots__ = ("sim", "gen", "name", "finished", "error")
 
     def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "") -> None:
         self.sim = sim

@@ -38,6 +38,8 @@ def derive_seed(*parts: object) -> int:
 class RandomStreams:
     """A factory of independent, deterministically seeded RNG streams."""
 
+    __slots__ = ("seed", "_streams")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, random.Random] = {}

@@ -76,6 +76,8 @@ class PacketRecord:
 class Tracer:
     """Collects one :class:`PacketRecord` per packet, indexed by flow."""
 
+    __slots__ = ("name", "records", "_by_flow")
+
     #: Servers skip all tracing work when this is False.
     enabled = True
 
@@ -95,8 +97,13 @@ class Tracer:
 
     def on_arrival(
         self, flow: Hashable, seqno: int, length: int, time: float
-    ) -> PacketRecord:
-        """Record an arrival; the returned record is the mark handle."""
+    ) -> Optional[PacketRecord]:
+        """Record an arrival; the returned record is the mark handle.
+
+        Subclasses may return ``None`` to decline recording a packet
+        (as :class:`SamplingTracer` does), so the declared return type
+        is optional; this base implementation always records.
+        """
         return self.add(
             PacketRecord(
                 flow=flow, seqno=seqno, length=length, arrival=time, server=self.name
@@ -158,7 +165,9 @@ class Tracer:
     def delays(self, flow: Optional[Hashable] = None) -> List[float]:
         """Per-packet delays of departed packets, as a fresh list."""
         return [
-            r.departure - r.arrival for r in self.iter_departed(flow)
+            r.departure - r.arrival
+            for r in self.iter_departed(flow)
+            if r.departure is not None
         ]
 
     def work_in_interval(self, flow: Hashable, t1: float, t2: float) -> int:
@@ -196,6 +205,8 @@ class NullTracer:
     query surface is present (and empty) so analysis code degrades
     gracefully rather than crashing.
     """
+
+    __slots__ = ("name", "records")
 
     enabled = False
 
@@ -276,6 +287,8 @@ class SamplingTracer(Tracer):
     ``mark_*`` calls entirely.
     """
 
+    __slots__ = ("period", "arrivals_seen")
+
     def __init__(self, name: str = "", period: int = 100) -> None:
         if period < 1:
             raise ValueError(f"period must be >= 1, got {period}")
@@ -306,6 +319,18 @@ class ColumnarTracer:
     simulation loop to analysis time (and whose columns are directly
     consumable by numpy without an object walk).
     """
+
+    __slots__ = (
+        "name",
+        "col_flow",
+        "col_seqno",
+        "col_length",
+        "col_arrival",
+        "col_start",
+        "col_departure",
+        "col_dropped",
+        "_by_flow",
+    )
 
     enabled = True
 
@@ -415,11 +440,12 @@ class ColumnarTracer:
         """Per-packet delays of departed rows, straight off the columns."""
         departure = self.col_departure
         arrival = self.col_arrival
-        return [
-            departure[i] - arrival[i]
-            for i in self._indices(flow)
-            if departure[i] is not None
-        ]
+        out: List[float] = []
+        for i in self._indices(flow):
+            d = departure[i]
+            if d is not None:
+                out.append(d - arrival[i])
+        return out
 
     def work_in_interval(self, flow: Hashable, t1: float, t2: float) -> int:
         """Bits of ``flow`` served entirely within ``[t1, t2]`` (Section 1.2)."""

@@ -70,6 +70,24 @@ def run_schedule(
     return link
 
 
+def run_lint_on_source(
+    source: str,
+    path: str = "repro/core/fixture.py",
+    select: Optional[Sequence[str]] = None,
+) -> List["Finding"]:
+    """Lint an in-memory fixture through the real analyzer.
+
+    ``path`` defaults to a synthetic hot-path location so path-scoped
+    rules (DET002's benchmark exemption, PERF001's core/simulation
+    scope) are active; pass e.g. ``"benchmarks/bench_x.py"`` to test the
+    exemptions. ``select`` narrows the rule set as ``--select`` would.
+    """
+    from repro.lint import lint_source, resolve_rules
+
+    rules = resolve_rules(select=select) if select else None
+    return lint_source(source, path=path, rules=rules)
+
+
 def constant_link(scheduler: Scheduler, rate: float) -> Tuple[Simulator, Link]:
     sim = Simulator()
     link = Link(sim, scheduler, ConstantCapacity(rate))

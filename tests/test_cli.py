@@ -111,6 +111,30 @@ def test_registry_targets_resolve_and_names_match_descriptions():
 
 
 # ---------------------------------------------------------------------------
+# Lint subcommand (full coverage lives in test_lint.py)
+
+
+def test_lint_command_smoke(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main(["lint", str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    assert main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_lint_parser_flags():
+    args = build_parser().parse_args(
+        ["lint", "src", "--format", "json", "--select", "DET001,DET002"]
+    )
+    assert args.command == "lint"
+    assert args.format == "json"
+    assert args.select == "DET001,DET002"
+
+
+# ---------------------------------------------------------------------------
 # Campaign subcommand
 
 

@@ -1,0 +1,401 @@
+"""Tests for ``repro.lint`` — rules, suppressions, CLI, self-check.
+
+Each rule gets at least one *catching* fixture (the violation is
+reported) and one *passing* fixture (the disciplined spelling is not).
+The final test lints the repo's own ``src/`` tree through the real CLI
+and asserts it is clean — the tree must stay lintable at all times.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintUsageError,
+    RULES,
+    all_rule_codes,
+    lint_source,
+    parse_suppressions,
+    resolve_rules,
+)
+from repro.lint.cli import main as lint_main, render_json, render_text
+
+from tests.helpers import run_lint_on_source
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def codes(findings) -> list:
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# DET001 — unseeded / module-level random
+# ---------------------------------------------------------------------------
+
+
+def test_det001_catches_module_level_random():
+    findings = run_lint_on_source("import random\nx = random.random()\n")
+    assert "DET001" in codes(findings)
+
+
+def test_det001_catches_numpy_random():
+    findings = run_lint_on_source("import numpy as np\nv = np.random.rand()\n")
+    assert "DET001" in codes(findings)
+
+
+def test_det001_catches_from_import():
+    findings = run_lint_on_source("from random import random\n")
+    assert "DET001" in codes(findings)
+
+
+def test_det001_passes_seeded_generator():
+    findings = run_lint_on_source(
+        "import random\nrng = random.Random(42)\nx = rng.random()\n"
+    )
+    assert "DET001" not in codes(findings)
+
+
+def test_det001_exempts_the_stream_module():
+    findings = run_lint_on_source(
+        "import random\nx = random.random()\n",
+        path="src/repro/simulation/random.py",
+    )
+    assert "DET001" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# DET002 — wall-clock reads
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_SRC = "import time\nstart = time.perf_counter()\n"
+
+
+def test_det002_catches_wall_clock_in_simulation_code():
+    findings = run_lint_on_source(_WALL_CLOCK_SRC)
+    assert "DET002" in codes(findings)
+
+
+def test_det002_catches_from_import_alias():
+    findings = run_lint_on_source(
+        "from time import monotonic as clock\nt = clock()\n"
+    )
+    assert "DET002" in codes(findings)
+
+
+def test_det002_passes_in_benchmarks_dir():
+    findings = run_lint_on_source(_WALL_CLOCK_SRC, path="benchmarks/bench_x.py")
+    assert findings == []
+
+
+def test_det002_passes_in_bench_py():
+    findings = run_lint_on_source(
+        _WALL_CLOCK_SRC, path="src/repro/experiments/bench.py"
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered iteration feeding scheduling
+# ---------------------------------------------------------------------------
+
+
+def test_det003_catches_set_iteration_feeding_heappush():
+    findings = run_lint_on_source(
+        "from heapq import heappush\n"
+        "def f(items, heap):\n"
+        "    for x in set(items):\n"
+        "        heappush(heap, x)\n"
+    )
+    assert "DET003" in codes(findings)
+
+
+def test_det003_catches_dict_view_feeding_add_flow():
+    findings = run_lint_on_source(
+        "def f(weights, sched):\n"
+        "    for flow in weights.keys():\n"
+        "        sched.add_flow(flow, 1.0)\n"
+    )
+    assert "DET003" in codes(findings)
+
+
+def test_det003_passes_with_sorted():
+    findings = run_lint_on_source(
+        "from heapq import heappush\n"
+        "def f(items, heap):\n"
+        "    for x in sorted(set(items)):\n"
+        "        heappush(heap, x)\n"
+    )
+    assert "DET003" not in codes(findings)
+
+
+def test_det003_ignores_loops_without_scheduling_sinks():
+    findings = run_lint_on_source(
+        "def f(items):\n"
+        "    total = 0\n"
+        "    for x in set(items):\n"
+        "        total += x\n"
+        "    return total\n"
+    )
+    assert "DET003" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# DET004 — id()-based tie-breaking
+# ---------------------------------------------------------------------------
+
+
+def test_det004_catches_id_in_comparator():
+    findings = run_lint_on_source(
+        "class T:\n"
+        "    def __lt__(self, other):\n"
+        "        return id(self) < id(other)\n"
+    )
+    assert "DET004" in codes(findings)
+
+
+def test_det004_catches_id_in_key_lambda():
+    findings = run_lint_on_source("def f(xs):\n    xs.sort(key=lambda p: id(p))\n")
+    assert "DET004" in codes(findings)
+
+
+def test_det004_passes_uid_tiebreak():
+    findings = run_lint_on_source(
+        "class T:\n"
+        "    def __lt__(self, other):\n"
+        "        return self.uid < other.uid\n"
+    )
+    assert "DET004" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# TAG001 — float equality on tag expressions
+# ---------------------------------------------------------------------------
+
+
+def test_tag001_catches_tag_equality():
+    findings = run_lint_on_source(
+        "def f(a, b):\n    return a.start_tag == b.start_tag\n"
+    )
+    assert "TAG001" in codes(findings)
+
+
+def test_tag001_catches_virtual_time_inequality():
+    findings = run_lint_on_source(
+        "def f(sched, v):\n    return sched.virtual_time != v\n"
+    )
+    assert "TAG001" in codes(findings)
+
+
+def test_tag001_passes_ordering_comparison():
+    findings = run_lint_on_source(
+        "def f(a, b):\n    return a.start_tag <= b.start_tag\n"
+    )
+    assert "TAG001" not in codes(findings)
+
+
+def test_tag001_passes_none_sentinel_check():
+    findings = run_lint_on_source(
+        "def f(p):\n    return p.start_tag == None\n"  # noqa: E711
+    )
+    assert "TAG001" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# PERF001 — hot-path classes without __slots__
+# ---------------------------------------------------------------------------
+
+_UNSLOTTED = "class Hot:\n    def __init__(self):\n        self.x = 1\n"
+
+
+def test_perf001_catches_unslotted_hot_path_class():
+    findings = run_lint_on_source(_UNSLOTTED, path="src/repro/core/thing.py")
+    assert "PERF001" in codes(findings)
+
+
+def test_perf001_passes_with_slots():
+    findings = run_lint_on_source(
+        "class Hot:\n"
+        "    __slots__ = ('x',)\n"
+        "    def __init__(self):\n"
+        "        self.x = 1\n",
+        path="src/repro/core/thing.py",
+    )
+    assert findings == []
+
+
+def test_perf001_passes_outside_hot_path():
+    findings = run_lint_on_source(_UNSLOTTED, path="src/repro/analysis/thing.py")
+    assert "PERF001" not in codes(findings)
+
+
+def test_perf001_exempts_slotted_dataclass_and_exceptions():
+    findings = run_lint_on_source(
+        "from dataclasses import dataclass\n"
+        "@dataclass(slots=True)\n"
+        "class Rec:\n"
+        "    x: int = 0\n"
+        "class BadThing(ValueError):\n"
+        "    def __init__(self, msg):\n"
+        "        self.msg = msg\n",
+        path="src/repro/core/thing.py",
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_inline_disable_suppresses_matching_rule():
+    findings = run_lint_on_source(
+        "import time\n"
+        "t = time.perf_counter()  # lint: disable=DET002  timing harness\n"
+    )
+    assert findings == []
+
+
+def test_inline_disable_with_justification_after_code_list():
+    # The justification is free-form text; it must not leak into codes.
+    sup = parse_suppressions(
+        "x = 1  # lint: disable=TAG001  exact copy, not recomputed arithmetic\n"
+    )
+    assert sup == {1: frozenset({"TAG001"})}
+
+
+def test_inline_disable_multiple_codes():
+    sup = parse_suppressions("x = 1  # lint: disable=DET002, TAG001\n")
+    assert sup == {1: frozenset({"DET002", "TAG001"})}
+
+
+def test_inline_disable_all():
+    findings = run_lint_on_source(
+        "import time\nt = time.time()  # lint: disable=all\n"
+    )
+    assert findings == []
+
+
+def test_disable_for_other_rule_does_not_suppress():
+    findings = run_lint_on_source(
+        "import time\nt = time.time()  # lint: disable=TAG001\n"
+    )
+    assert "DET002" in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# Rule selection, findings model, CLI
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_rules_select_and_ignore():
+    only = resolve_rules(select=["DET001"])
+    assert [r.code for r in only] == ["DET001"]
+    rest = resolve_rules(ignore=["DET001"])
+    assert "DET001" not in [r.code for r in rest]
+
+
+def test_resolve_rules_rejects_unknown_codes():
+    with pytest.raises(LintUsageError, match="NOPE42"):
+        resolve_rules(select=["NOPE42"])
+
+
+def test_registry_is_complete():
+    assert set(all_rule_codes()) == set(RULES) == {
+        "DET001", "DET002", "DET003", "DET004", "TAG001", "PERF001",
+    }
+    for rule in RULES.values():
+        assert rule.summary
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("def broken(:\n", path="x.py")
+    assert codes(findings) == ["SYNTAX"]
+
+
+def test_finding_format_and_sort_order():
+    findings = run_lint_on_source("import random\nx = random.random()\n")
+    line = findings[0].format()
+    assert line.startswith("repro/core/fixture.py:")
+    assert "DET001" in line
+    assert findings == sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+
+
+def test_render_text_and_json():
+    findings = [Finding("DET001", "msg", "a.py", 3, 7)]
+    text = render_text(findings)
+    assert "a.py:3:7: DET001 msg" in text and "1 finding(s)" in text
+    payload = json.loads(render_json(findings))
+    assert payload["stats"]["total"] == 1
+    assert payload["findings"][0]["rule"] == "DET001"
+    assert render_text([]) == ""
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import random\nx = random.random()\n")
+    assert lint_main([str(bad)]) == 1
+    capsys.readouterr()
+    bad.write_text("x = 1\n")
+    assert lint_main([str(bad)]) == 0
+    assert lint_main([str(bad), "--select", "BOGUS"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in all_rule_codes():
+        assert code in out
+
+
+@pytest.mark.parametrize("code,source", [
+    ("DET001", "import random\nx = random.random()\n"),
+    ("DET002", "import time\nt = time.time()\n"),
+    ("DET003", (
+        "from heapq import heappush\n"
+        "def f(items, heap):\n"
+        "    for x in set(items):\n"
+        "        heappush(heap, x)\n"
+    )),
+    ("DET004", "def sort_key(p):\n    return id(p)\n"),
+    ("TAG001", "def f(a, b):\n    return a.finish_tag == b.finish_tag\n"),
+    ("PERF001", _UNSLOTTED),
+])
+def test_cli_nonzero_on_each_rules_catching_fixture(tmp_path, capsys, code, source):
+    fixture = tmp_path / "repro" / "core" / "fixture.py"
+    fixture.parent.mkdir(parents=True, exist_ok=True)
+    fixture.write_text(source)
+    assert lint_main([str(fixture), "--select", code]) == 1
+    out = capsys.readouterr().out
+    assert code in out
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the repo's own tree must lint clean
+# ---------------------------------------------------------------------------
+
+
+def test_repo_source_tree_lints_clean():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, (
+        "the tree must lint clean; findings:\n" + proc.stdout + proc.stderr
+    )

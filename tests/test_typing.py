@@ -1,0 +1,35 @@
+"""Strict-typing gate for the annotated perimeter.
+
+CI runs ``mypy --strict`` directly (see ``.github/workflows/ci.yml``);
+this test runs the same check for developers who have mypy installed
+locally, and skips cleanly where it is not available.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT_PACKAGES = [
+    "src/repro/core",
+    "src/repro/simulation",
+    "src/repro/lint",
+]
+
+
+def test_strict_perimeter_type_checks():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", *STRICT_PACKAGES],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
