@@ -10,7 +10,7 @@ it with the measured worst case.
 Run:  python examples/end_to_end_qos.py
 """
 
-from repro import SFQ, ConstantCapacity, Packet, Simulator, kbps, mbps
+from repro import ConstantCapacity, Packet, Simulator, kbps, make_scheduler, mbps
 from repro.analysis import leaky_bucket_e2e_delay_bound
 from repro.network import Tandem
 from repro.traffic import CBRSource, LeakyBucketShaper, conforms
@@ -26,7 +26,7 @@ CROSS = [("x1", kbps(300), 1500 * 8), ("x2", kbps(300), 600 * 8)]
 sim = Simulator()
 schedulers = []
 for _ in range(K):
-    sched = SFQ(auto_register=False)
+    sched = make_scheduler("SFQ", auto_register=False)
     sched.add_flow("audio", AUDIO_RATE)
     for flow, rate, _length in CROSS:
         sched.add_flow(flow, rate)

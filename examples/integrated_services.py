@@ -22,13 +22,13 @@ Run:  python examples/integrated_services.py
 import random
 
 from repro import (
-    SFQ,
     ConstantCapacity,
     HierarchicalScheduler,
     Link,
     Packet,
     Simulator,
     kbps,
+    make_scheduler,
     mbps,
 )
 from repro.analysis import delay_summary
@@ -54,7 +54,7 @@ hs.add_class("besteffort", "interactive", weight=1.0)
 hs.attach_flow("ftp", "bulk", weight=1.0)
 hs.attach_flow("telnet", "interactive", weight=1.0)
 
-access = Link(sim, SFQ(), ConstantCapacity(ACCESS), name="sw1-access")
+access = Link(sim, make_scheduler("SFQ"), ConstantCapacity(ACCESS), name="sw1-access")
 bottleneck = Link(
     sim, hs, ConstantCapacity(BOTTLENECK), name="sw1->sw2",
     per_flow_buffer_packets={"ftp": 64},

@@ -21,11 +21,11 @@ Run:  python examples/link_sharing.py
 
 from repro import (
     ConstantCapacity,
-    DelayEDD,
     HierarchicalScheduler,
     Link,
     Packet,
     Simulator,
+    make_scheduler,
     mbps,
 )
 from repro.analysis import delay_summary
@@ -36,7 +36,7 @@ PACKET = 1000 * 8
 sim = Simulator()
 hs = HierarchicalScheduler()
 
-edd = DelayEDD()
+edd = make_scheduler("DelayEDD", auto_register=False)
 edd.add_flow_with_deadline("voip", rate=mbps(0.5), deadline=0.02)
 edd.add_flow_with_deadline("gaming", rate=mbps(1.5), deadline=0.05)
 hs.add_class("root", "realtime", weight=4.0, scheduler=edd)

@@ -11,13 +11,13 @@ Three flows — interactive audio, bulk FTP, and VBR-ish video — share a
 Run:  python examples/quickstart.py
 """
 
-from repro import SFQ, ConstantCapacity, Link, Packet, Simulator, kbps, mbps
+from repro import ConstantCapacity, Link, Packet, Simulator, kbps, make_scheduler, mbps
 from repro.analysis import delay_summary
 
 LINK_RATE = mbps(1.5)
 
 sim = Simulator()
-sfq = SFQ(auto_register=False)
+sfq = make_scheduler("SFQ", auto_register=False)
 sfq.add_flow("audio", weight=kbps(64))
 sfq.add_flow("ftp", weight=kbps(436))
 sfq.add_flow("video", weight=mbps(1))

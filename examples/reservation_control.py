@@ -11,7 +11,7 @@ simulated to show every quoted bound holding.
 Run:  python examples/reservation_control.py
 """
 
-from repro import SFQ, ConstantCapacity, Link, Packet, Simulator
+from repro import ConstantCapacity, Link, Packet, Simulator, make_scheduler
 from repro.analysis.delay_bounds import expected_arrival_times
 from repro.analysis.reservation import AdmissionError, ReservationManager
 
@@ -52,7 +52,7 @@ print(f"\nreserved {manager.reserved_rate/1e3:.1f} of "
 
 # --- Simulate the admitted set and check the quotes --------------------
 sim = Simulator()
-sfq = SFQ(auto_register=False)
+sfq = make_scheduler("SFQ", auto_register=False)
 manager.configure_scheduler(sfq)
 link = Link(sim, sfq, ConstantCapacity(LINK_RATE))
 for flow, reservation in manager.reservations.items():

@@ -15,19 +15,12 @@ Run:  python examples/scheduler_comparison.py
 import random
 
 from repro import (
-    DRR,
-    FIFO,
-    SCFQ,
-    SFQ,
-    WF2Q,
-    WFQ,
     ConstantCapacity,
-    FairAirport,
     Link,
     Packet,
     Simulator,
-    VirtualClock,
     kbps,
+    make_scheduler,
 )
 from repro.analysis import delay_summary, empirical_fairness_measure
 from repro.traffic import CBRSource, OnOffSource
@@ -43,14 +36,14 @@ PACKET = 500 * 8
 HORIZON = 30.0
 
 MAKERS = {
-    "SFQ": lambda: SFQ(auto_register=False),
-    "SCFQ": lambda: SCFQ(auto_register=False),
-    "WFQ": lambda: WFQ(assumed_capacity=CAPACITY, auto_register=False),
-    "WF2Q": lambda: WF2Q(assumed_capacity=CAPACITY, auto_register=False),
-    "VirtualClock": lambda: VirtualClock(auto_register=False),
-    "DRR": lambda: DRR(quantum_scale=PACKET / kbps(50), auto_register=False),
-    "FairAirport": lambda: FairAirport(auto_register=False),
-    "FIFO": lambda: FIFO(auto_register=False),
+    "SFQ": lambda: make_scheduler("SFQ", auto_register=False),
+    "SCFQ": lambda: make_scheduler("SCFQ", auto_register=False),
+    "WFQ": lambda: make_scheduler("WFQ", capacity=CAPACITY, auto_register=False),
+    "WF2Q": lambda: make_scheduler("WF2Q", capacity=CAPACITY, auto_register=False),
+    "VirtualClock": lambda: make_scheduler("VirtualClock", auto_register=False),
+    "DRR": lambda: make_scheduler("DRR", quantum_scale=PACKET / kbps(50), auto_register=False),
+    "FairAirport": lambda: make_scheduler("FairAirport", auto_register=False),
+    "FIFO": lambda: make_scheduler("FIFO", auto_register=False),
 }
 
 

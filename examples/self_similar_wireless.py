@@ -13,7 +13,7 @@ Run:  python examples/self_similar_wireless.py
 
 import random
 
-from repro import SFQ, WFQ, GilbertElliottCapacity, Link, Packet, Simulator
+from repro import GilbertElliottCapacity, Link, Packet, Simulator, make_scheduler
 from repro.analysis import empirical_fairness_measure, sfq_fairness_bound
 from repro.traffic import ParetoOnOffSource
 
@@ -59,8 +59,8 @@ print("=== Theorem 1 on a Gilbert-Elliott outage link, Pareto traffic ===\n")
 print(f"Theorem 1 bound for SFQ (any server, any traffic): {bound:.0f} s\n")
 print(f"{'scheduler':<28}{'empirical H(video,data)':>24}")
 for name, make in (
-    ("SFQ", lambda: SFQ(auto_register=False)),
-    ("WFQ (assumes mean rate)", lambda: WFQ(assumed_capacity=MEAN_RATE, auto_register=False)),
+    ("SFQ", lambda: make_scheduler("SFQ", auto_register=False)),
+    ("WFQ (assumes mean rate)", lambda: make_scheduler("WFQ", capacity=MEAN_RATE, auto_register=False)),
 ):
     h = run(name, make)
     flag = "  <= bound" if h <= bound else "  VIOLATES the SFQ bound"

@@ -54,11 +54,15 @@ from repro.core import (
     SchedulerError,
     TieBreak,
     VirtualClock,
+    available_schedulers,
     bits,
     kbps,
+    make_scheduler,
     mbps,
+    scheduler_spec,
 )
 from repro.core.priority import PriorityBands
+from repro.metrics import MetricsSession, Snapshot
 from repro.core.wf2q import WF2Q
 from repro.servers import (
     BernoulliCapacity,
@@ -81,6 +85,13 @@ __all__ = [
     "Simulator",
     "RandomStreams",
     "Tracer",
+    # construction API
+    "make_scheduler",
+    "available_schedulers",
+    "scheduler_spec",
+    # metrics
+    "MetricsSession",
+    "Snapshot",
     # schedulers
     "Scheduler",
     "SchedulerError",

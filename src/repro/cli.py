@@ -6,8 +6,11 @@
     python -m repro run figure1
     python -m repro run figure2b --duration 1000
     python -m repro run all --seed 7 --jobs 4
+    python -m repro run figure1 --metrics
+    python -m repro metrics figure1
     python -m repro campaign --jobs 4 --seeds 5
     python -m repro campaign --only table1,figure1 --seeds 2 --jobs 2
+    python -m repro campaign --only figure1 --seeds 3 --metrics
 
 Each experiment prints the same table/series the benchmark suite
 archives under ``results/``. Dispatch goes through the lazy registry in
@@ -59,6 +62,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for 'run all' (default 1 = in-process)",
+    )
+    run.add_argument(
+        "--metrics", action="store_true",
+        help="collect an online metrics snapshot "
+             "(written under <results>/metrics/)",
+    )
+    run.add_argument(
+        "--results-dir", default="results",
+        help="directory for --metrics snapshots (default: results)",
+    )
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one experiment with metrics collection and print the "
+             "per-server / per-flow telemetry summary",
+    )
+    metrics.add_argument("experiment", choices=sorted(REGISTRY))
+    metrics.add_argument(
+        "--seed", type=int, default=None, help="experiment seed"
+    )
+    metrics.add_argument(
+        "--duration", type=float, default=None, help="simulated horizon (s)"
+    )
+    metrics.add_argument(
+        "--results-dir", default="results",
+        help="snapshot output directory root (default: results; files go "
+             "to <results>/metrics/<experiment>.{json,csv})",
+    )
+    metrics.add_argument(
+        "--table", action="store_true",
+        help="also print the experiment's own result table",
     )
     bench = sub.add_parser(
         "bench",
@@ -129,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-shard progress"
     )
     campaign.add_argument(
+        "--metrics", action="store_true",
+        help="collect per-shard metrics snapshots and write the "
+             "per-experiment merge under <results>/metrics/",
+    )
+    campaign.add_argument(
         "--bench", action="store_true",
         help="measure --jobs and warm-cache speedups instead of running "
              "a campaign; writes BENCH_campaign.json",
@@ -161,6 +199,38 @@ def run_experiment(
     return runner(**kwargs)
 
 
+def run_experiment_with_metrics(
+    name: str,
+    seed: Optional[int] = None,
+    duration: Optional[float] = None,
+):
+    """Run one experiment inside a :class:`repro.metrics.MetricsSession`.
+
+    Returns ``(result, snapshot)`` where the snapshot covers every
+    Link/Switch the experiment constructed (ambient wiring — the
+    experiment itself is unmodified).
+    """
+    from repro.metrics import MetricsSession
+
+    meta = {"experiment": name}
+    if seed is not None and name in ACCEPTS_SEED:
+        meta["seed"] = seed
+    if duration is not None and name in ACCEPTS_DURATION:
+        meta["duration"] = duration
+    with MetricsSession() as session:
+        result = run_experiment(name, seed=seed, duration=duration)
+    return result, session.snapshot(meta)
+
+
+def _write_snapshot(snapshot, results_dir: str, basename: str) -> None:
+    from pathlib import Path
+
+    json_path, csv_path = snapshot.write(
+        Path(results_dir) / "metrics", basename
+    )
+    print(f"metrics snapshot: {json_path}; csv: {csv_path}")
+
+
 def _parse_only(only: Optional[str]) -> Optional[List[str]]:
     if only is None:
         return None
@@ -172,6 +242,16 @@ def _parse_only(only: Optional[str]) -> Optional[List[str]]:
             f"(see `python -m repro list`)"
         )
     return names
+
+
+def _write_campaign_snapshots(campaign, results_dir: str) -> None:
+    """Write each experiment's merged snapshot (if it collected one)."""
+    from repro.metrics import Snapshot
+
+    for name, summary in campaign.summaries.items():
+        payload = summary.data.get("metrics_snapshot")
+        if payload:
+            _write_snapshot(Snapshot.from_payload(payload), results_dir, name)
 
 
 def _run_all(args: argparse.Namespace) -> int:
@@ -201,11 +281,14 @@ def _run_all(args: argparse.Namespace) -> int:
         derive_seeds=False,
         cache=False,
         grids=grids,
-        results_dir=str(Path("results")),
+        results_dir=args.results_dir,
+        metrics=args.metrics,
     )
     for name in sorted(campaign.summaries):
         print(campaign.summaries[name].render())
         print()
+    if args.metrics:
+        _write_campaign_snapshots(campaign, args.results_dir)
     print(campaign.render_stats())
     for outcome in campaign.failures:
         print(f"FAILED: {outcome.shard.describe()}: "
@@ -243,12 +326,15 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         progress=progress,
+        metrics=args.metrics,
     )
     print()
     for name in campaign.summaries:
         print(campaign.summaries[name].render())
         print()
     print(campaign.render_stats())
+    if args.metrics:
+        _write_campaign_snapshots(campaign, args.results_dir)
 
     results_dir = Path(args.results_dir)
     write_manifest(campaign, results_dir / "campaign_manifest.json")
@@ -296,8 +382,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import run_lint
 
         return run_lint(args)
+    if args.command == "metrics":
+        result, snapshot = run_experiment_with_metrics(
+            args.experiment, seed=args.seed, duration=args.duration
+        )
+        if args.table:
+            print(result.render())
+            print()
+        for line in snapshot.summary_lines():
+            print(line)
+        _write_snapshot(snapshot, args.results_dir, args.experiment)
+        return 0
     if args.experiment == "all":
         return _run_all(args)
+    if args.metrics:
+        result, snapshot = run_experiment_with_metrics(
+            args.experiment, seed=args.seed, duration=args.duration
+        )
+        print(result.render())
+        print()
+        for line in snapshot.summary_lines():
+            print(line)
+        _write_snapshot(snapshot, args.results_dir, args.experiment)
+        return 0
     result = run_experiment(
         args.experiment, seed=args.seed, duration=args.duration
     )

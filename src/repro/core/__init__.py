@@ -17,6 +17,14 @@ from repro.core.headheap import HeadHeapScheduler
 from repro.core.hierarchical import HierarchicalScheduler, SchedClass
 from repro.core.jitter_edd import JitterEDD
 from repro.core.packet import Packet, bits, kbps, mbps
+from repro.core.registry import (
+    ParamSpec,
+    SchedulerSpec,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+    scheduler_spec,
+)
 from repro.core.scfq import SCFQ
 from repro.core.sfq import SFQ
 from repro.core.virtual_clock import VirtualClock
@@ -49,9 +57,17 @@ __all__ = [
     "bits",
     "kbps",
     "mbps",
+    # construction API (repro.core.registry)
+    "make_scheduler",
+    "available_schedulers",
+    "scheduler_spec",
+    "register_scheduler",
+    "SchedulerSpec",
+    "ParamSpec",
 ]
 
-#: Registry of constructible disciplines for sweeps and CLIs.
+#: Back-compat name->class map. Prefer :func:`make_scheduler`, which
+#: also validates parameters and handles ``assumed_capacity``.
 ALGORITHMS = {
     "SFQ": SFQ,
     "SCFQ": SCFQ,

@@ -1,0 +1,298 @@
+"""Declarative scheduler registry — the public construction API.
+
+Every scheduling discipline in the repo is registered here with a
+:class:`SchedulerSpec` describing its constructor surface: which extra
+parameters it accepts, whether it needs the link capacity
+(rate-proportional disciplines — WFQ, FQS, WF2Q — simulate a fluid GPS
+reference and must be told the rate they emulate), and what it is. The
+one public entry point experiments and users construct through is::
+
+    from repro import make_scheduler
+
+    make_scheduler("SFQ")
+    make_scheduler("WFQ", capacity=1e6, auto_register=False)
+    make_scheduler("DRR", quantum_scale=2.0)
+
+Uniform-ladder contract
+-----------------------
+``capacity`` may always be passed: disciplines that need it receive it
+as ``assumed_capacity``; self-clocked disciplines (SFQ, SCFQ, DRR, ...)
+ignore it. That one rule lets a comparison ladder construct every
+Table-1 algorithm with a single call shape instead of per-algorithm
+lambdas.
+
+Normalized defaults
+-------------------
+Raw constructors disagree on ``auto_register``: most schedulers default
+``True`` (first packet of an unknown flow registers it at
+``default_weight``) but ``DelayEDD``/``JitterEDD`` default ``False``
+(their flows need an explicit deadline/rate anyway, so silent
+registration only defers the error). The registry removes the
+inconsistency: :func:`make_scheduler` passes ``auto_register=True`` for
+*every* discipline unless the caller says otherwise. EDD disciplines
+still require :meth:`add_flow_with_deadline` before a flow's first
+enqueue — the normalization changes when the mistake is reported, not
+the requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.core.base import Scheduler
+from repro.core.drr import DRR, WRR
+from repro.core.delay_edd import DelayEDD
+from repro.core.fair_airport import FairAirport
+from repro.core.fifo import FIFO
+from repro.core.jitter_edd import JitterEDD
+from repro.core.scfq import SCFQ
+from repro.core.sfq import SFQ
+from repro.core.virtual_clock import VirtualClock
+from repro.core.wf2q import WF2Q
+from repro.core.wfq import FQS, WFQ
+
+__all__ = [
+    "ParamSpec",
+    "SchedulerSpec",
+    "available_schedulers",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_spec",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ParamSpec:
+    """One optional constructor parameter of a discipline."""
+
+    name: str
+    kind: str  # "bool" | "float" | "callable" — documentation, not enforcement
+    doc: str
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerSpec:
+    """Construction contract of one registered discipline."""
+
+    name: str
+    cls: Type[Scheduler]
+    description: str
+    #: True for rate-proportional disciplines that must be told the link
+    #: rate they emulate (constructor takes ``assumed_capacity``).
+    needs_capacity: bool = False
+    params: Tuple[ParamSpec, ...] = ()
+
+    def param_names(self) -> Tuple[str, ...]:
+        """Accepted keyword names, in declaration order."""
+        return tuple(p.name for p in self.params)
+
+
+_AUTO_REGISTER = ParamSpec(
+    "auto_register",
+    "bool",
+    "register unknown flows at default_weight on first enqueue "
+    "(registry default: True for every discipline)",
+)
+_DEFAULT_WEIGHT = ParamSpec(
+    "default_weight", "float", "weight given to auto-registered flows"
+)
+_TIE_BREAK = ParamSpec(
+    "tie_break", "callable", "tag tie-break rule (see repro.core.base.TieBreak)"
+)
+_DEBUG_CHECKS = ParamSpec(
+    "debug_checks", "bool", "enable O(n) per-event invariant assertions"
+)
+
+_COMMON = (_AUTO_REGISTER, _DEFAULT_WEIGHT)
+
+#: canonical name -> spec, in Table-1 presentation order.
+_REGISTRY: Dict[str, SchedulerSpec] = {}
+#: lower-cased alias -> canonical name.
+_ALIASES: Dict[str, str] = {}
+
+
+def register_scheduler(spec: SchedulerSpec) -> SchedulerSpec:
+    """Add (or replace) a discipline in the registry.
+
+    The name is matched case-insensitively by :func:`make_scheduler`.
+    Returns the spec so callers can ``register_scheduler(SchedulerSpec(
+    ...))`` and keep the handle.
+    """
+    _REGISTRY[spec.name] = spec
+    _ALIASES[spec.name.lower()] = spec.name
+    return spec
+
+
+def available_schedulers() -> List[str]:
+    """Canonical names of every registered discipline, in registration
+    (Table 1) order."""
+    return list(_REGISTRY)
+
+
+def scheduler_spec(name: str) -> SchedulerSpec:
+    """The :class:`SchedulerSpec` for ``name`` (case-insensitive).
+
+    Raises ``ValueError`` naming the available disciplines when the
+    lookup fails — the error a CLI typo should produce.
+    """
+    canonical = _ALIASES.get(name.lower())
+    if canonical is None:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: "
+            + ", ".join(available_schedulers())
+        )
+    return _REGISTRY[canonical]
+
+
+def make_scheduler(
+    name: str, *, capacity: float | None = None, **params: Any
+) -> Scheduler:
+    """Construct the discipline ``name`` — the public factory.
+
+    Parameters
+    ----------
+    name:
+        Any registered discipline, case-insensitive (``"SFQ"``,
+        ``"wfq"``, ...); see :func:`available_schedulers`.
+    capacity:
+        Link rate in bits/s. Required by rate-proportional disciplines
+        (WFQ, FQS, WF2Q), accepted and ignored by the rest, so a ladder
+        can pass it unconditionally.
+    params:
+        Discipline-specific keywords, validated against the spec
+        (``tie_break``, ``debug_checks``, ``quantum_scale``,
+        ``auto_register``, ``default_weight``). Unknown keywords raise
+        ``TypeError`` listing what the discipline accepts.
+    """
+    spec = scheduler_spec(name)
+    kwargs: Dict[str, Any] = dict(params)
+    allowed = set(spec.param_names())
+    unknown = sorted(set(kwargs) - allowed)
+    if unknown:
+        raise TypeError(
+            f"{spec.name} does not accept {', '.join(map(repr, unknown))}; "
+            f"accepted parameters: {', '.join(spec.param_names()) or 'none'}"
+        )
+    if spec.needs_capacity:
+        if capacity is None:
+            raise TypeError(
+                f"{spec.name} is rate-proportional and needs the link "
+                f"rate: make_scheduler({spec.name!r}, capacity=...)"
+            )
+        kwargs["assumed_capacity"] = capacity
+    # Normalized default (see module docstring): explicit for every
+    # discipline, so DelayEDD/JitterEDD behave like the rest.
+    kwargs.setdefault("auto_register", True)
+    return spec.cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# The Table-1 disciplines (plus the Appendix-B Fair Airport server).
+# ----------------------------------------------------------------------
+register_scheduler(
+    SchedulerSpec(
+        "SFQ",
+        SFQ,
+        "Start-time Fair Queueing (the paper's algorithm)",
+        params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "SCFQ",
+        SCFQ,
+        "Self-Clocked Fair Queueing (Golestani 1994)",
+        params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "WFQ",
+        WFQ,
+        "Weighted Fair Queueing / PGPS (finish-tag order over fluid GPS)",
+        needs_capacity=True,
+        params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "FQS",
+        FQS,
+        "Fair Queueing by Start-time (Greenberg & Madras 1992)",
+        needs_capacity=True,
+        params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "WF2Q",
+        WF2Q,
+        "Worst-case Fair WFQ (eligibility-gated finish-tag order)",
+        needs_capacity=True,
+        params=(_DEBUG_CHECKS,) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "VirtualClock",
+        VirtualClock,
+        "Virtual Clock (Zhang 1990)",
+        params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "DRR",
+        DRR,
+        "Deficit Round Robin (Shreedhar & Varghese 1995)",
+        params=(
+            ParamSpec(
+                "quantum_scale",
+                "float",
+                "quantum per round as a multiple of the flow's weight share",
+            ),
+        )
+        + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "WRR",
+        WRR,
+        "Weighted Round Robin (packet-count credits)",
+        params=_COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "FIFO",
+        FIFO,
+        "Single shared first-in-first-out queue (no isolation)",
+        params=_COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "DelayEDD",
+        DelayEDD,
+        "Delay Earliest-Due-Date (flows need add_flow_with_deadline)",
+        params=(_DEBUG_CHECKS,) + _COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "JitterEDD",
+        JitterEDD,
+        "Jitter Earliest-Due-Date (non-work-conserving regulator + EDD)",
+        params=_COMMON,
+    )
+)
+register_scheduler(
+    SchedulerSpec(
+        "FairAirport",
+        FairAirport,
+        "Fair Airport (paper Appendix B: Virtual Clock GSQ + SFQ ASQ)",
+        params=_COMMON,
+    )
+)

@@ -27,11 +27,17 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.core import SCFQ, SFQ, Packet, VirtualClock
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.servers import ConstantCapacity, Link
 from repro.simulation import NullTracer, Simulator, Tracer
 
-__all__ = ["run_bench", "bench_engine", "bench_schedulers"]
+__all__ = [
+    "run_bench",
+    "bench_engine",
+    "bench_schedulers",
+    "bench_metrics_overhead",
+]
 
 
 # ----------------------------------------------------------------------
@@ -163,7 +169,7 @@ def bench_pipeline(packets_per_flow: int, repeats: int) -> dict:
         # zero-cost path): flow-head-heap SFQ + engine fast loop.
         return _pipeline_seconds(
             Simulator,
-            lambda: SFQ(auto_register=False),
+            lambda: make_scheduler("SFQ", auto_register=False),
             NullTracer(),
             packets_per_flow,
         )
@@ -196,9 +202,9 @@ def bench_engine(smoke: bool = False, repeats: int = 5) -> dict:
 # Schedulers: per-packet cost vs per-flow backlog depth
 # ----------------------------------------------------------------------
 _OPTIMIZED = {
-    "SFQ": lambda: SFQ(auto_register=False),
-    "SCFQ": lambda: SCFQ(auto_register=False),
-    "VirtualClock": lambda: VirtualClock(auto_register=False),
+    "SFQ": lambda: make_scheduler("SFQ", auto_register=False),
+    "SCFQ": lambda: make_scheduler("SCFQ", auto_register=False),
+    "VirtualClock": lambda: make_scheduler("VirtualClock", auto_register=False),
 }
 
 
@@ -292,6 +298,7 @@ def bench_schedulers(smoke: bool = False, repeats: int = 5) -> dict:
                 "optimized_ns_per_packet": round(fast * 1e9, 1),
             }
         )
+    per_flow = 50 if smoke else 1_000
     return {
         "benchmark": "schedulers",
         "mode": "smoke" if smoke else "full",
@@ -300,6 +307,52 @@ def bench_schedulers(smoke: bool = False, repeats: int = 5) -> dict:
         "flows": n_flows,
         "per_packet_cost": per_packet,
         "sfq_backlog_curve": curve,
+        "metrics_overhead": bench_metrics_overhead(per_flow, repeats),
+    }
+
+
+# ----------------------------------------------------------------------
+# Metrics: telemetry cost, disabled and enabled
+# ----------------------------------------------------------------------
+def bench_metrics_overhead(packets_per_flow: int, repeats: int) -> dict:
+    """Pipeline throughput with metrics off (NULL_METRICS guard — the
+    default every experiment pays) vs inside a ``MetricsSession``.
+
+    The disabled cost is the subsystem's standing tax on every
+    simulation and must stay in the noise (<3%: the guard is one class
+    attribute read per hook). The enabled figure is what
+    ``--metrics`` / ``python -m repro metrics`` costs. Keys deliberately
+    avoid the ``optimized_*`` prefix: these are informational, not gated
+    by ``scripts/bench_compare.py``.
+    """
+    from repro.metrics import MetricsSession
+
+    total = 8 * packets_per_flow
+
+    def run_off() -> float:
+        return _pipeline_seconds(
+            Simulator,
+            lambda: make_scheduler("SFQ", auto_register=False),
+            NullTracer(),
+            packets_per_flow,
+        )
+
+    def run_on() -> float:
+        with MetricsSession():
+            return _pipeline_seconds(
+                Simulator,
+                lambda: make_scheduler("SFQ", auto_register=False),
+                NullTracer(),
+                packets_per_flow,
+            )
+
+    off = _best_of(run_off, repeats)
+    on = _best_of(run_on, repeats)
+    return {
+        "packets": total,
+        "metrics_off_pkts_per_sec": round(total / off),
+        "metrics_on_pkts_per_sec": round(total / on),
+        "enabled_overhead_pct": round((on - off) / off * 100.0, 1),
     }
 
 

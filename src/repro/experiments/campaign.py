@@ -241,17 +241,23 @@ def repro_source_digest(root: Optional[Path] = None) -> str:
     return digest.hexdigest()
 
 
-def cache_key(shard: Shard, source_digest: str) -> str:
-    """sha256(experiment + source digest + params + seed)."""
-    token = json.dumps(
-        {
-            "experiment": shard.experiment,
-            "source": source_digest,
-            "params": encode_value(dict(shard.params)),
-            "seed": shard.seed,
-        },
-        sort_keys=True,
-    )
+def cache_key(shard: Shard, source_digest: str, metrics: bool = False) -> str:
+    """sha256(experiment + source digest + params + seed [+ metrics]).
+
+    The metrics flag joins the key only when set: a metrics-enabled
+    shard carries its snapshot inside the cached result, so it must not
+    be served to (or from) metrics-off campaigns, while every
+    pre-existing metrics-off cache entry stays valid.
+    """
+    token_fields = {
+        "experiment": shard.experiment,
+        "source": source_digest,
+        "params": encode_value(dict(shard.params)),
+        "seed": shard.seed,
+    }
+    if metrics:
+        token_fields["metrics"] = True
+    token = json.dumps(token_fields, sort_keys=True)
     return hashlib.sha256(token.encode("utf-8")).hexdigest()
 
 
@@ -293,9 +299,27 @@ class _ShardTimeout(Exception):
     pass
 
 
-def _execute(target: str, kwargs: Dict[str, Any]) -> ExperimentResult:
+def _execute(
+    target: str, kwargs: Dict[str, Any], metrics: bool = False
+) -> ExperimentResult:
     func = resolve_target(target)
-    result = func(**kwargs)
+    if metrics:
+        # Ambient session: every Link/Switch the shard constructs
+        # self-registers a hub. The snapshot rides inside result.data so
+        # it crosses the worker queue and the cache with the result.
+        from repro.metrics import MetricsSession
+
+        meta: Dict[str, Any] = {}
+        if kwargs.get("seed") is not None:
+            meta["seed"] = kwargs["seed"]
+        with MetricsSession() as session:
+            result = func(**kwargs)
+        if isinstance(result, ExperimentResult):
+            result.data["metrics_snapshot"] = (
+                session.snapshot(meta).to_payload()
+            )
+    else:
+        result = func(**kwargs)
     if not isinstance(result, ExperimentResult):
         raise TypeError(
             f"{target} returned {type(result).__name__}, not ExperimentResult"
@@ -303,7 +327,9 @@ def _execute(target: str, kwargs: Dict[str, Any]) -> ExperimentResult:
     return result
 
 
-def _run_inline(shard: Shard, timeout: Optional[float]) -> ShardOutcome:
+def _run_inline(
+    shard: Shard, timeout: Optional[float], metrics: bool = False
+) -> ShardOutcome:
     """Run a shard in-process (jobs=1), enforcing the timeout via
     ``SIGALRM`` where the platform supports it."""
     use_alarm = (
@@ -320,7 +346,7 @@ def _run_inline(shard: Shard, timeout: Optional[float]) -> ShardOutcome:
 
             old_handler = signal.signal(signal.SIGALRM, _on_alarm)
             signal.setitimer(signal.ITIMER_REAL, timeout)
-        result = _execute(shard.target, shard.kwargs)
+        result = _execute(shard.target, shard.kwargs, metrics)
         return ShardOutcome(shard, "ok", result,
                             elapsed=time.perf_counter() - start)  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
     except _ShardTimeout:
@@ -351,10 +377,10 @@ def _worker_main(task_queue, result_queue):  # pragma: no cover - child process
         task = task_queue.get()
         if task is None:
             return
-        index, target, kwargs = task
+        index, target, kwargs, metrics = task
         start = time.perf_counter()  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
         try:
-            result = _execute(target, kwargs)
+            result = _execute(target, kwargs, metrics)
             result_queue.put(
                 (index, "ok", result.to_payload(), time.perf_counter() - start)  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
             )
@@ -385,6 +411,7 @@ def _run_pool(
     timeout: Optional[float],
     retries: int,
     progress: Optional[Callable[[str], None]] = None,
+    metrics: bool = False,
 ) -> Dict[int, ShardOutcome]:
     """Dispatch shards across ``jobs`` spawned worker processes.
 
@@ -449,7 +476,8 @@ def _run_pool(
                         continue
                     attempts[index] += 1
                     worker.queue.put(
-                        (index, shards[index].target, shards[index].kwargs)
+                        (index, shards[index].target, shards[index].kwargs,
+                         metrics)
                     )
                     worker.task = index
                     worker.started = time.monotonic()  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
@@ -669,12 +697,19 @@ def run_campaign(
     targets: Optional[Mapping[str, str]] = None,
     accepts_seed: Optional[frozenset] = None,
     progress: Optional[Callable[[str], None]] = None,
+    metrics: bool = False,
 ) -> CampaignResult:
     """Run a campaign and return outcomes + aggregated summaries.
 
     See the module docstring for semantics. ``targets`` may inject or
     override ``name -> module:function`` entries (used by tests to run
     synthetic crashing/sleeping experiments through the real machinery).
+
+    With ``metrics=True`` every shard runs inside a
+    :class:`repro.metrics.MetricsSession`; per-shard snapshots ride
+    through workers and the cache inside ``result.data`` and are merged
+    per experiment into ``summary.data["metrics_snapshot"]`` (counters
+    sum, histograms add bucket-wise, meta collects the seed variants).
     """
     start = time.perf_counter()  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
     if names is None:
@@ -695,7 +730,9 @@ def run_campaign(
     digest = repro_source_digest() if cache else ""
     if cache:
         for i, shard in enumerate(shards):
-            cached = cache_load(cache_path(results_path, cache_key(shard, digest)))
+            cached = cache_load(
+                cache_path(results_path, cache_key(shard, digest, metrics))
+            )
             if cached is not None:
                 result, elapsed = cached
                 outcomes[i] = ShardOutcome(
@@ -712,7 +749,7 @@ def run_campaign(
     if to_run:
         if jobs <= 1:
             for i in to_run:
-                outcomes[i] = _run_inline(shards[i], timeout)
+                outcomes[i] = _run_inline(shards[i], timeout, metrics)
                 if progress is not None:
                     progress(
                         f"[{len(outcomes)}/{len(shards)}] "
@@ -720,7 +757,8 @@ def run_campaign(
                     )
         else:
             fresh = _run_pool(
-                [shards[i] for i in to_run], jobs, timeout, retries, progress
+                [shards[i] for i in to_run], jobs, timeout, retries, progress,
+                metrics,
             )
             for local_index, outcome in fresh.items():
                 outcomes[to_run[local_index]] = outcome
@@ -730,12 +768,39 @@ def run_campaign(
             if outcome.ok and not outcome.from_cache:
                 assert outcome.result is not None
                 cache_store(
-                    cache_path(results_path, cache_key(shards[i], digest)),
+                    cache_path(
+                        results_path, cache_key(shards[i], digest, metrics)
+                    ),
                     shards[i], outcome.result, outcome.elapsed,
                 )
 
     ordered = [outcomes[i] for i in range(len(shards))]
+
+    # Lift snapshots out of shard data *after* cache_store (cached
+    # entries keep theirs) and *before* aggregate (so table aggregation
+    # never sees — or deep-merges — the raw payloads), merging them per
+    # experiment across params and seeds.
+    merged_snapshots: "OrderedDict[str, Any]" = OrderedDict()
+    if metrics:
+        from repro.metrics import Snapshot
+
+        for outcome in ordered:
+            if not outcome.ok or outcome.result is None:
+                continue
+            payload = outcome.result.data.pop("metrics_snapshot", None)
+            if payload is None:
+                continue
+            snap = Snapshot.from_payload(payload)
+            seen = merged_snapshots.get(outcome.shard.experiment)
+            if seen is None:
+                merged_snapshots[outcome.shard.experiment] = snap
+            else:
+                seen.merge(snap)
+
     summaries = aggregate(ordered, seeds)
+    for name, snap in merged_snapshots.items():
+        if name in summaries:
+            summaries[name].data["metrics_snapshot"] = snap.to_payload()
     wall = time.perf_counter() - start  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
     stats = {
         "shards": len(ordered),

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.core import SFQ, WFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link
 from repro.simulation import Simulator
@@ -35,7 +36,7 @@ def gps_work(n_flows: int, rounds: int = 8):
     *next* arrival's advance() must retire all Q fluid flows at once.
     """
     sim = Simulator()
-    wfq = WFQ(assumed_capacity=CAPACITY, auto_register=False)
+    wfq = make_scheduler("WFQ", capacity=CAPACITY, auto_register=False)
     for i in range(n_flows):
         wfq.add_flow(f"f{i}", CAPACITY / n_flows)
     link = Link(sim, wfq, ConstantCapacity(CAPACITY))

@@ -25,7 +25,8 @@ from repro.analysis.delay_bounds import (
     sfq_delay_bound,
     wfq_delay_bound,
 )
-from repro.core import SCFQ, SFQ, Packet, Scheduler, VirtualClock
+from repro.core import Packet, Scheduler
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import CapacityProcess, ConstantCapacity, Link, TwoRateSquareWave
 from repro.simulation import Simulator
@@ -140,14 +141,14 @@ def run_delay_bounds(horizon: float = 30.0) -> ExperimentResult:
         schedulers: List[Tuple[str, Callable[[], Scheduler], Callable]] = [
             (
                 "SFQ",
-                lambda: SFQ(auto_register=False),
+                lambda: make_scheduler("SFQ", auto_register=False),
                 lambda flow, rate, eat, l_pkt: sfq_delay_bound(
                     eat, sum_lmax[flow], l_pkt, CAPACITY, delta
                 ),
             ),
             (
                 "SCFQ",
-                lambda: SCFQ(auto_register=False),
+                lambda: make_scheduler("SCFQ", auto_register=False),
                 lambda flow, rate, eat, l_pkt: scfq_delay_bound(
                     eat, sum_lmax[flow], l_pkt, rate, CAPACITY
                 )
@@ -155,7 +156,7 @@ def run_delay_bounds(horizon: float = 30.0) -> ExperimentResult:
             ),
             (
                 "VirtualClock",
-                lambda: VirtualClock(auto_register=False),
+                lambda: make_scheduler("VirtualClock", auto_register=False),
                 lambda flow, rate, eat, l_pkt: wfq_delay_bound(
                     eat, l_pkt, rate, l_max_global, CAPACITY
                 )

@@ -20,7 +20,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.admission import delay_edd_schedulable
 from repro.analysis.delay_bounds import edd_delay_bound, hierarchical_fc_params
-from repro.core import SFQ, DelayEDD, HierarchicalScheduler, Packet
+from repro.core import HierarchicalScheduler, Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link, TwoRateSquareWave
 from repro.simulation import Simulator
@@ -66,7 +67,7 @@ def _deadline_check(link: Link, capacity: float, delta: float) -> Dict[str, floa
 def run_edd_flat(delta_kind: str) -> Tuple[Link, float, float]:
     """Delay EDD directly on a constant or FC link."""
     sim = Simulator()
-    edd = DelayEDD()
+    edd = make_scheduler("DelayEDD", auto_register=False)
     for flow, rate, deadline in EDD_FLOWS:
         edd.add_flow_with_deadline(flow, rate, deadline)
     if delta_kind == "constant":
@@ -84,7 +85,7 @@ def run_edd_in_hierarchy() -> Tuple[Link, float, float]:
     """Delay EDD class under an SFQ root sharing with a bulk class."""
     sim = Simulator()
     hs = HierarchicalScheduler()
-    edd = DelayEDD()
+    edd = make_scheduler("DelayEDD", auto_register=False)
     for flow, rate, deadline in EDD_FLOWS:
         edd.add_flow_with_deadline(flow, rate, deadline)
     rt_rate = sum(r for _f, r, _d in EDD_FLOWS)  # 4500

@@ -22,7 +22,8 @@ from repro.analysis.delay_bounds import (
     flat_sfq_bound_equal_lengths,
     partitioned_sfq_bound_equal_lengths,
 )
-from repro.core import SFQ, HierarchicalScheduler, Packet
+from repro.core import HierarchicalScheduler, Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link
 from repro.simulation import Simulator
@@ -67,7 +68,7 @@ def _max_delay(link: Link, flows: List[str]) -> float:
 def run_flat() -> Link:
     """Flat SFQ over all flows on the full link (the eq. 69 baseline)."""
     sim = Simulator()
-    sched = SFQ(auto_register=False)
+    sched = make_scheduler("SFQ", auto_register=False)
     for flow in _flows():
         sched.add_flow(flow, _per_flow_rate(flow))
     link = Link(sim, sched, ConstantCapacity(LINK), name="flat")

@@ -27,7 +27,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_bounds import ebf_tail_probability, expected_arrival_times
 from repro.analysis.servers import sample_ebf_deficits
-from repro.core import SFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import BernoulliCapacity, Link, ebf_envelope_from_trace
 from repro.simulation import Simulator
@@ -72,7 +73,7 @@ def violation_curve(
     violations = {g: 0 for g in gammas}
     for run in range(n_runs):
         sim = Simulator()
-        sched = SFQ(auto_register=False)
+        sched = make_scheduler("SFQ", auto_register=False)
         for flow, rate, _l, _b in FLOWS:
             sched.add_flow(flow, rate)
         capacity = BernoulliCapacity(

@@ -23,7 +23,8 @@ from repro.analysis.delay_bounds import (
     scfq_sfq_delay_delta,
 )
 from repro.analysis.end_to_end import deterministic_path_bound
-from repro.core import SFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.network import Tandem
 from repro.servers import ConstantCapacity, TwoRateSquareWave
@@ -46,7 +47,7 @@ def run_tandem(k: int, horizon: float = 10.0, variable_rate: bool = False):
     capacities = []
     deltas: List[float] = []
     for _hop in range(k):
-        sched = SFQ(auto_register=False)
+        sched = make_scheduler("SFQ", auto_register=False)
         sched.add_flow(TAGGED[0], TAGGED[1])
         for flow, rate, _l, _b in CROSS:
             sched.add_flow(flow, rate)

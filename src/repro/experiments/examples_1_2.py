@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.core import SFQ, WFQ, Packet, TieBreak
+from repro.core import Packet, TieBreak
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link, PiecewiseCapacity
 from repro.simulation import Simulator
@@ -35,8 +36,9 @@ def run_example1(c: float = 1.0, lmax: int = 1000) -> ExperimentResult:
     sim = Simulator()
     # Ties broken in favor of flow m's packets reproduce the paper's
     # chosen service order p_f^1, p_m^1, p_m^2, p_m^3, p_f^2.
-    sched = WFQ(
-        assumed_capacity=2 * rate,
+    sched = make_scheduler(
+        "WFQ",
+        capacity=2 * rate,
         tie_break=lambda state, packet: (0 if packet.flow == "m" else 1,),
     )
     sched.add_flow("f", rate)
@@ -88,8 +90,8 @@ def run_example2(c: float = 10.0) -> ExperimentResult:
     """Example 2: WFQ vs SFQ when real capacity < assumed capacity."""
     counts: dict = {}
     for name, make in (
-        ("WFQ", lambda: WFQ(assumed_capacity=c)),
-        ("SFQ", lambda: SFQ()),
+        ("WFQ", lambda: make_scheduler("WFQ", capacity=c)),
+        ("SFQ", lambda: make_scheduler("SFQ")),
     ):
         sim = Simulator()
         sched = make()

@@ -26,7 +26,8 @@ from repro.analysis.delay_bounds import (
     fair_airport_fairness_bound,
 )
 from repro.analysis.fairness import empirical_fairness_measure
-from repro.core import FairAirport, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link, TwoRateSquareWave
 from repro.simulation import Simulator
@@ -43,7 +44,7 @@ HORIZON = 40.0
 
 def _run(variable_rate: bool) -> Tuple[Link, FairAirport]:
     sim = Simulator()
-    fa = FairAirport(auto_register=False)
+    fa = make_scheduler("FairAirport", auto_register=False)
     for flow, rate, _l, _b in FLOWS:
         fa.add_flow(flow, rate)
     if variable_rate:

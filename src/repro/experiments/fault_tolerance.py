@@ -31,10 +31,11 @@ reproduces the identical faulted run, byte for byte.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Hashable, List, Sequence, Tuple
 
-from repro.core.sfq import SFQ
-from repro.core.wfq import WFQ
+from repro.core.base import Scheduler
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.faults.injectors import FlowChurn, LinkOutage
 from repro.faults.monitors import MonitorSuite, install_monitors
@@ -56,13 +57,25 @@ LATE_START = 2.5
 HORIZON = 7.0
 
 
-def _make_scheduler(algorithm: str):
-    if algorithm == "SFQ":
-        return SFQ(auto_register=False)
-    if algorithm == "WFQ":
-        # WFQ must be told a capacity; it has no way to see the outage.
-        return WFQ(assumed_capacity=CAPACITY, auto_register=False)
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+def _scheduler(algorithm: str) -> Scheduler:
+    # WFQ must be told a capacity; it has no way to see the outage. The
+    # registry routes it to assumed_capacity and SFQ ignores it.
+    return make_scheduler(algorithm, capacity=CAPACITY, auto_register=False)
+
+
+def _make_scheduler(algorithm: str) -> Scheduler:
+    """Deprecated pre-registry construction path.
+
+    .. deprecated::
+        Use :func:`repro.core.registry.make_scheduler` instead.
+    """
+    warnings.warn(
+        "fault_tolerance._make_scheduler is deprecated; use "
+        "repro.core.registry.make_scheduler(name, capacity=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _scheduler(algorithm)
 
 
 def run_outage_scenario(
@@ -76,7 +89,7 @@ def run_outage_scenario(
     """
     sim = Simulator()
     streams = RandomStreams(seed)
-    scheduler = _make_scheduler(algorithm)
+    scheduler = _scheduler(algorithm)
     weight = CAPACITY / 3.0
     for flow in ("inc1", "inc2", "late"):
         scheduler.add_flow(flow, weight)
@@ -145,7 +158,7 @@ def run_churn_scenario(seed: int = 1) -> Tuple[Dict[str, object], MonitorSuite]:
     """
     sim = Simulator()
     streams = RandomStreams(seed)
-    scheduler = SFQ(auto_register=False)
+    scheduler = make_scheduler("SFQ", auto_register=False)
     weight = CAPACITY / 3.0
     scheduler.add_flow("base1", weight)
     scheduler.add_flow("base2", weight)

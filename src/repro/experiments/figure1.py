@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.core import FIFO, SFQ, WFQ, Scheduler
+from repro.core import Scheduler
+from repro.core.registry import make_scheduler
 from repro.core.packet import mbps
 from repro.core.priority import PriorityBands
 from repro.experiments.harness import ExperimentResult
@@ -69,16 +70,16 @@ def run_figure1_variant(
     streams = RandomStreams(seed)
 
     if algorithm == "SFQ":
-        tcp_sched: Scheduler = SFQ(auto_register=False)
+        tcp_sched: Scheduler = make_scheduler("SFQ", auto_register=False)
     elif algorithm == "WFQ":
         # The paper: "The WFQ implementation used the link capacity to
         # compute the finish tags" — i.e. the full 2.5 Mb/s, not the
         # fluctuating residual.
-        tcp_sched = WFQ(assumed_capacity=LINK_RATE, auto_register=False)
+        tcp_sched = make_scheduler("WFQ", capacity=LINK_RATE, auto_register=False)
     else:
         raise ValueError(f"algorithm must be SFQ or WFQ, got {algorithm!r}")
 
-    video_band = FIFO(auto_register=False)
+    video_band = make_scheduler("FIFO", auto_register=False)
     bands = PriorityBands([video_band, tcp_sched])
     bands.assign_flow("video", 0, weight=VIDEO_RATE)
     bands.assign_flow("tcp2", 1, weight=LINK_RATE / 2)

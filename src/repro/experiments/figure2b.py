@@ -20,7 +20,8 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.stats import mean
-from repro.core import SFQ, WFQ, Scheduler
+from repro.core import Scheduler
+from repro.core.registry import make_scheduler
 from repro.core.packet import kbps, mbps
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link
@@ -52,9 +53,9 @@ def run_point(
     sim = Simulator()
     streams = RandomStreams(seed)
     if algorithm == "SFQ":
-        sched: Scheduler = SFQ(auto_register=False)
+        sched: Scheduler = make_scheduler("SFQ", auto_register=False)
     elif algorithm == "WFQ":
-        sched = WFQ(assumed_capacity=LINK, auto_register=False)
+        sched = make_scheduler("WFQ", capacity=LINK, auto_register=False)
     else:
         raise ValueError(f"algorithm must be SFQ or WFQ, got {algorithm!r}")
 

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.analysis.stats import windowed_throughput
-from repro.core import SFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.core.packet import mbps
 from repro.experiments.harness import ExperimentResult
 from repro.servers import FluctuationConstrainedCapacity, Link
@@ -37,7 +38,7 @@ def run_figure3(
     """Three weighted greedy connections on a fluctuating link."""
     sim = Simulator()
     streams = RandomStreams(seed)
-    sched = SFQ(auto_register=False)
+    sched = make_scheduler("SFQ", auto_register=False)
     weights = {"w1": 1.0, "w2": 2.0, "w3": 3.0}
     for flow, weight in sorted(weights.items()):
         sched.add_flow(flow, weight)

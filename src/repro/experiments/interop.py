@@ -22,7 +22,8 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_bounds import expected_arrival_times
 from repro.analysis.end_to_end import deterministic_path_bound
-from repro.core import SCFQ, SFQ, Packet, Scheduler, VirtualClock
+from repro.core import Packet, Scheduler
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.network import Tandem
 from repro.servers import ConstantCapacity
@@ -37,9 +38,9 @@ CROSS: Sequence[Tuple[str, float, int, int]] = (
 )
 
 HOPS: Sequence[Tuple[str, Callable[[], Scheduler]]] = (
-    ("SFQ", lambda: SFQ(auto_register=False)),
-    ("VirtualClock", lambda: VirtualClock(auto_register=False)),
-    ("SCFQ", lambda: SCFQ(auto_register=False)),
+    ("SFQ", lambda: make_scheduler("SFQ", auto_register=False)),
+    ("VirtualClock", lambda: make_scheduler("VirtualClock", auto_register=False)),
+    ("SCFQ", lambda: make_scheduler("SCFQ", auto_register=False)),
 )
 
 

@@ -27,7 +27,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_bounds import expected_arrival_times, sfq_delay_bound
 from repro.analysis.servers import measure_fc_delta
-from repro.core import FIFO, SFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.core.priority import PriorityBands
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link, residual_from_demand
@@ -78,8 +79,8 @@ def residual_profile_is_fc(seed: int = 31) -> Tuple[float, float]:
 def run_priority_link(seed: int = 31) -> Link:
     """Strict-priority link: shaped HP flow above an SFQ low band."""
     sim = Simulator()
-    low = SFQ(auto_register=False)
-    bands = PriorityBands([FIFO(auto_register=False), low])
+    low = make_scheduler("SFQ", auto_register=False)
+    bands = PriorityBands([make_scheduler("FIFO", auto_register=False), low])
     bands.assign_flow("hp", 0, weight=HP_RHO)
     for flow, rate, _l, _b in LOW_FLOWS:
         bands.assign_flow(flow, 1, weight=rate)

@@ -16,7 +16,8 @@ import random
 from typing import Callable, Dict
 
 from repro.analysis.fairness import empirical_fairness_measure, sfq_fairness_bound
-from repro.core import SFQ, WFQ, Packet, Scheduler
+from repro.core import Packet, Scheduler
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import GilbertElliottCapacity, Link
 from repro.simulation import RandomStreams, Simulator
@@ -77,8 +78,8 @@ def run_stress(seed: int = 51) -> ExperimentResult:
     bound = sfq_fairness_bound(PACKET, RF, PACKET, RM)
     measures: Dict[str, float] = {}
     for name, make in (
-        ("SFQ", lambda: SFQ(auto_register=False)),
-        ("WFQ (assumed mean rate)", lambda: WFQ(assumed_capacity=MEAN_RATE, auto_register=False)),
+        ("SFQ", lambda: make_scheduler("SFQ", auto_register=False)),
+        ("WFQ (assumed mean rate)", lambda: make_scheduler("WFQ", capacity=MEAN_RATE, auto_register=False)),
     ):
         link = _run(make, seed)
         measures[name] = empirical_fairness_measure(

@@ -20,7 +20,8 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional, Tuple
 
-from repro.core import DRR, FQS, SCFQ, SFQ, WF2Q, WFQ, Packet, Scheduler
+from repro.core import Packet, Scheduler
+from repro.core.registry import make_scheduler
 from repro.analysis.fairness import (
     empirical_fairness_measure,
     golestani_lower_bound,
@@ -89,18 +90,18 @@ def run_table1(seed: int = 7) -> ExperimentResult:
     sfq_bound = sfq_fairness_bound(lmax, RF, lmax, RM)
 
     rows: List[Tuple[str, Callable[[], Scheduler], Optional[float]]] = [
-        ("SFQ", lambda: SFQ(), sfq_bound),
-        ("SCFQ", lambda: SCFQ(), sfq_bound),
-        ("WFQ", lambda: WFQ(assumed_capacity=CAPACITY), None),
-        ("FQS", lambda: FQS(assumed_capacity=CAPACITY), None),
+        ("SFQ", lambda: make_scheduler("SFQ"), sfq_bound),
+        ("SCFQ", lambda: make_scheduler("SCFQ"), sfq_bound),
+        ("WFQ", lambda: make_scheduler("WFQ", capacity=CAPACITY), None),
+        ("FQS", lambda: make_scheduler("FQS", capacity=CAPACITY), None),
         # Extension row: WF2Q (Bennett & Zhang 1996) — fairer than WFQ
         # on the correct constant-rate server, but it still builds on
         # the assumed-capacity fluid GPS.
-        ("WF2Q (extension)", lambda: WF2Q(assumed_capacity=CAPACITY), None),
+        ("WF2Q (extension)", lambda: make_scheduler("WF2Q", capacity=CAPACITY), None),
         # Quantum = weight/250 x 250-bit units: small quanta (fair-ish).
-        ("DRR (quantum=1xlmax)", lambda: DRR(quantum_scale=lmax / RM), None),
+        ("DRR (quantum=1xlmax)", lambda: make_scheduler("DRR", quantum_scale=lmax / RM), None),
         # Large quanta: the unbounded-unfairness regime of Section 1.2.
-        ("DRR (quantum=16xlmax)", lambda: DRR(quantum_scale=16 * lmax / RM), None),
+        ("DRR (quantum=16xlmax)", lambda: make_scheduler("DRR", quantum_scale=16 * lmax / RM), None),
     ]
 
     result = ExperimentResult(

@@ -21,7 +21,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_bounds import sfq_throughput_lower_bound
 from repro.analysis.servers import measure_fc_delta
-from repro.core import SFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import (
     BernoulliCapacity,
@@ -44,7 +45,7 @@ FLOWS: Sequence[Tuple[str, float, int]] = (
 
 def _run_greedy(capacity: CapacityProcess, horizon: float) -> Link:
     sim = Simulator()
-    sched = SFQ(auto_register=False)
+    sched = make_scheduler("SFQ", auto_register=False)
     for flow, rate, _length in FLOWS:
         sched.add_flow(flow, rate)
     link = Link(sim, sched, capacity)

@@ -24,7 +24,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.admission import rate_functions_admissible
 from repro.analysis.delay_bounds import expected_arrival_times, sfq_delay_bound
-from repro.core import SFQ, Packet
+from repro.core import Packet
+from repro.core.registry import make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link
 from repro.simulation import Simulator
@@ -46,7 +47,7 @@ def run_vbr_rates(seed: int = 41) -> ExperimentResult:
     """Run the two-tier per-packet-rate workload and its three checks."""
     rng = random.Random(seed)
     sim = Simulator()
-    sched = SFQ(auto_register=False)
+    sched = make_scheduler("SFQ", auto_register=False)
     # The video flow's nominal weight is irrelevant once every packet
     # carries its own rate, but registration needs one.
     sched.add_flow("video", LOW_RATE)

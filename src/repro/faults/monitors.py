@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.packet import Packet
+from repro.metrics.hub import NULL_METRICS, MetricsHub
 from repro.servers.link import Link
 
 __all__ = [
@@ -90,11 +91,16 @@ class Monitor:
 
     invariant = "abstract"
 
-    def __init__(self, mode: str = "raise") -> None:
+    def __init__(self, mode: str = "raise", metrics: Optional[MetricsHub] = None) -> None:
         if mode not in ("raise", "record"):
             raise ValueError(f"mode must be 'raise' or 'record', got {mode!r}")
         self.mode = mode
         self.violations: List[InvariantViolation] = []
+        #: Metrics hub violations are counted on (as
+        #: ``invariant_violations{<invariant>}``); link-attached monitors
+        #: pass their link's hub so violations land in that server's
+        #: snapshot. Defaults to the null hub (no-op).
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     @property
     def ok(self) -> bool:
@@ -113,6 +119,8 @@ class Monitor:
     ) -> InvariantViolation:
         violation = InvariantViolation(self.invariant, time, detail, window)
         self.violations.append(violation)
+        if self.metrics.enabled:
+            self.metrics.counter("invariant_violations", self.invariant).add()
         if self.mode == "raise":
             raise violation
         return violation
@@ -158,7 +166,7 @@ class FairnessMonitor(Monitor):
         bound_factor: float = 1.0,
         max_flows: int = 64,
     ) -> None:
-        super().__init__(mode)
+        super().__init__(mode, metrics=link.metrics)
         self.link = link
         self.slack = float(slack)
         self.bound_factor = float(bound_factor)
@@ -322,7 +330,7 @@ class VirtualTimeMonitor(Monitor):
     invariant = "virtual-time"
 
     def __init__(self, link: Link, mode: str = "raise", eps: float = 1e-9) -> None:
-        super().__init__(mode)
+        super().__init__(mode, metrics=link.metrics)
         if not hasattr(link.scheduler, "virtual_time"):
             raise TypeError(
                 f"{link.scheduler.algorithm} exposes no virtual_time; "
@@ -362,7 +370,7 @@ class ConservationAuditor(Monitor):
     invariant = "packet-conservation"
 
     def __init__(self, link: Link, mode: str = "raise") -> None:
-        super().__init__(mode)
+        super().__init__(mode, metrics=link.metrics)
         self.link = link
         self.admitted = 0
         self.departed = 0

@@ -1,0 +1,92 @@
+"""Ambient metrics collection: MetricsSession and hub_for().
+
+Experiments build their own networks deep inside their run functions,
+so threading a metrics object through every ``Link(...)`` call would
+touch every experiment signature. Instead collection is *ambient*:
+server constructors ask :func:`hub_for` for their hub. With no session
+active (the default — and always the case for the frozen-trace
+equivalence runs) that returns the shared :data:`~repro.metrics.hub.
+NULL_METRICS` hub whose ``enabled`` flag is False, so the servers'
+per-packet guards all short-circuit. Inside a ``with MetricsSession()
+as session:`` block each distinct server name gets a live
+:class:`~repro.metrics.hub.MetricsHub` registered on the session, and
+``session.snapshot()`` collects them into an exportable
+:class:`~repro.metrics.snapshot.Snapshot`.
+
+Sessions nest by shadowing: entering a session saves the previously
+active one and restores it on exit, so a metrics-enabled experiment can
+safely call library code that opens its own session. The active-session
+slot is per-process; campaign workers each run shards sequentially in
+their own process, so ambient state never crosses shard boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.hub import DEFAULT_RATE_WINDOW, NULL_METRICS, MetricsHub
+from repro.metrics.snapshot import Snapshot
+
+__all__ = ["MetricsSession", "active_session", "hub_for"]
+
+_ACTIVE: Optional["MetricsSession"] = None
+
+
+class MetricsSession:
+    """A collection scope: every server built inside gets a live hub."""
+
+    def __init__(self, rate_window: float = DEFAULT_RATE_WINDOW) -> None:
+        self.rate_window = float(rate_window)
+        self.hubs: List[MetricsHub] = []
+        self._names: Dict[str, int] = {}
+        self._previous: Optional[MetricsSession] = None
+
+    def hub(self, name: str) -> MetricsHub:
+        """A fresh hub registered under ``name``.
+
+        Distinct servers sometimes share a default name (several
+        ``Link(..., name="link")`` in one topology); repeats get a
+        deterministic ``#2``, ``#3``, ... suffix so snapshots never
+        silently mix two servers' instruments.
+        """
+        seen = self._names.get(name, 0) + 1
+        self._names[name] = seen
+        unique = name if seen == 1 else f"{name}#{seen}"
+        hub = MetricsHub(unique, self.rate_window)
+        self.hubs.append(hub)
+        return hub
+
+    def snapshot(self, meta: Optional[Dict[str, Any]] = None) -> Snapshot:
+        """Collect every registered hub into a :class:`Snapshot`."""
+        return Snapshot(
+            meta=dict(meta or {}),
+            hubs={hub.name: hub for hub in self.hubs},
+        )
+
+    def __enter__(self) -> "MetricsSession":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._previous = None
+
+
+def active_session() -> Optional[MetricsSession]:
+    """The innermost active session, if any."""
+    return _ACTIVE
+
+
+def hub_for(name: str) -> MetricsHub:
+    """The hub a server named ``name`` should use right now.
+
+    A live hub registered on the active session, or the shared null hub
+    (``enabled`` False) when no session is active. Server constructors
+    call this when not handed an explicit ``metrics`` argument.
+    """
+    if _ACTIVE is None:
+        return NULL_METRICS
+    return _ACTIVE.hub(name)

@@ -1,0 +1,269 @@
+"""Snapshot: schema-versioned export of a metrics session.
+
+A snapshot is the collection of every server hub's state plus caller
+meta (experiment name, seed, parameters — never wall-clock time, which
+would break run-to-run determinism and the campaign cache). Like
+``ExperimentResult`` it round-trips losslessly through JSON
+(:meth:`to_json` / :meth:`from_json`), and additionally merges
+shard-wise (:meth:`merge`) so campaign workers can each snapshot their
+own shard and the aggregator can sum them into one campaign-wide view.
+
+:meth:`write` produces the two artifacts under ``results/metrics/``:
+``<basename>.json`` (lossless, schema ``metrics-snapshot/1``) and
+``<basename>.csv`` (flat summary rows for spreadsheet consumption).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.metrics.hub import MetricsHub
+from repro.metrics.instruments import Counter, Gauge, Histogram, RateMeter
+
+__all__ = ["Snapshot", "SCHEMA"]
+
+#: Snapshot schema identifier (bump on incompatible layout changes).
+SCHEMA = "metrics-snapshot/1"
+
+
+def _fmt_label(label: Hashable) -> str:
+    """Human-readable label cell for CSV/summary output."""
+    if label is None:
+        return ""
+    if isinstance(label, tuple):
+        return "/".join(str(part) for part in label)
+    return str(label)
+
+
+class Snapshot:
+    """All hubs of one run (or one merged campaign), plus meta."""
+
+    def __init__(
+        self,
+        meta: Optional[Dict[str, Any]] = None,
+        hubs: Optional[Dict[str, MetricsHub]] = None,
+    ) -> None:
+        self.meta: Dict[str, Any] = dict(meta or {})
+        #: server name -> hub (insertion order = registration order)
+        self.hubs: Dict[str, MetricsHub] = dict(hubs or {})
+
+    # ------------------------------------------------------------------
+    # Lossless round-trip
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-compatible state, deterministically ordered."""
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "hubs": [self.hubs[name].to_payload() for name in sorted(self.hubs)],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Snapshot":
+        """Rebuild from :meth:`to_payload` output (lossless)."""
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported metrics-snapshot schema {payload.get('schema')!r}"
+            )
+        hubs = {}
+        for hub_payload in payload["hubs"]:
+            hub = MetricsHub.from_payload(hub_payload)
+            hubs[hub.name] = hub
+        return cls(meta=dict(payload.get("meta", {})), hubs=hubs)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialized payload (sorted keys: byte-stable for diffing)."""
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Snapshot":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_payload(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Shard aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "Snapshot") -> None:
+        """Accumulate another snapshot (a campaign shard) in place.
+
+        Hubs merge by server name; servers only the other snapshot has
+        are copied in. Meta keys merge last-writer-wins except values
+        that differ, which collapse into a sorted list of the variants
+        (so a merged snapshot shows e.g. every seed that contributed).
+        """
+        for name, hub in other.hubs.items():
+            mine = self.hubs.get(name)
+            if mine is None:
+                self.hubs[name] = MetricsHub.from_payload(hub.to_payload())
+            else:
+                mine.merge(hub)
+        for key, value in other.meta.items():
+            if key not in self.meta:
+                self.meta[key] = value
+                continue
+            existing = self.meta[key]
+            variants = existing if isinstance(existing, list) else [existing]
+            if value not in variants:
+                variants.append(value)
+                try:
+                    variants.sort()
+                except TypeError:
+                    variants.sort(key=repr)
+            self.meta[key] = variants if len(variants) > 1 else variants[0]
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+    def write(self, directory: Path, basename: str) -> Tuple[Path, Path]:
+        """Write ``<basename>.json`` + ``<basename>.csv`` under
+        ``directory`` (created if missing); returns both paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / f"{basename}.json"
+        csv_path = directory / f"{basename}.csv"
+        json_path.write_text(self.to_json() + "\n")
+        with csv_path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["server", "family", "label", "field", "value"])
+            for row in self._csv_rows():
+                writer.writerow(row)
+        return json_path, csv_path
+
+    def _csv_rows(self) -> List[Tuple[str, str, str, str, Any]]:
+        rows: List[Tuple[str, str, str, str, Any]] = []
+        for name in sorted(self.hubs):
+            hub = self.hubs[name]
+            for family in hub.families():
+                for label in hub.labels(family):
+                    inst = hub.get(family, label)
+                    cell = _fmt_label(label)
+                    if isinstance(inst, Counter):
+                        rows.append((name, family, cell, "value", inst.value))
+                    elif isinstance(inst, Gauge):
+                        rows.append((name, family, cell, "value", inst.value))
+                        rows.append((name, family, cell, "high", inst.high))
+                    elif isinstance(inst, Histogram):
+                        rows.append((name, family, cell, "count", inst.count))
+                        rows.append((name, family, cell, "mean", inst.mean))
+                        rows.append((name, family, cell, "min", inst.vmin))
+                        rows.append((name, family, cell, "max", inst.vmax))
+                        rows.append((name, family, cell, "p50", inst.quantile(0.5)))
+                        rows.append((name, family, cell, "p99", inst.quantile(0.99)))
+                    elif isinstance(inst, RateMeter):
+                        rows.append((name, family, cell, "total", inst.total))
+                        rows.append(
+                            (name, family, cell, "windows", len(inst.buckets))
+                        )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Summaries (CLI + tests)
+    # ------------------------------------------------------------------
+    def flow_summary(self, server: Optional[str] = None) -> Dict[Hashable, Dict[str, float]]:
+        """Per-flow headline numbers for one server (or the union).
+
+        Returns ``{flow: {packets_served, bits_served, packets_dropped,
+        mean_delay, p99_delay, throughput}}`` where throughput is the
+        flow's served bits divided by the span of the link's observed
+        activity (0.0 when the span is empty).
+        """
+        names = [server] if server is not None else sorted(self.hubs)
+        summary: Dict[Hashable, Dict[str, float]] = {}
+        for name in names:
+            hub = self.hubs.get(name)
+            if hub is None:
+                continue
+            span = self._activity_span(hub)
+            for flow in hub.labels("packets_served"):
+                entry = summary.setdefault(
+                    flow,
+                    {
+                        "packets_served": 0.0,
+                        "bits_served": 0.0,
+                        "packets_dropped": 0.0,
+                        "mean_delay": 0.0,
+                        "p99_delay": 0.0,
+                        "throughput": 0.0,
+                    },
+                )
+                served = hub.get("packets_served", flow)
+                bits = hub.get("bits_served", flow)
+                dropped = hub.get("packets_dropped", flow)
+                delay = hub.get("delay", flow)
+                if isinstance(served, Counter):
+                    entry["packets_served"] += served.value
+                if isinstance(bits, Counter):
+                    entry["bits_served"] += bits.value
+                    if span > 0:
+                        entry["throughput"] += bits.value / span
+                if isinstance(dropped, Counter):
+                    entry["packets_dropped"] += dropped.value
+                if isinstance(delay, Histogram) and delay.count:
+                    entry["mean_delay"] = delay.mean
+                    entry["p99_delay"] = delay.quantile(0.99)
+        return summary
+
+    @staticmethod
+    def _activity_span(hub: MetricsHub) -> float:
+        """Seconds from t=0 to the last observed departure on ``hub``."""
+        meter = hub.get("link_throughput")
+        if isinstance(meter, RateMeter) and meter.buckets:
+            return meter.last_time
+        return 0.0
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable report for the CLI."""
+        lines: List[str] = []
+        if self.meta:
+            pairs = ", ".join(f"{k}={self.meta[k]}" for k in sorted(self.meta))
+            lines.append(f"meta: {pairs}")
+        for name in sorted(self.hubs):
+            hub = self.hubs[name]
+            lines.append(f"server {name}:")
+            span = self._activity_span(hub)
+            meter = hub.get("link_throughput")
+            if isinstance(meter, RateMeter) and span > 0:
+                lines.append(
+                    f"  link throughput: {meter.total / span:.0f} bits/s "
+                    f"over {span:.3f}s"
+                )
+            depth = hub.get("queue_depth")
+            if isinstance(depth, Gauge) and depth.high:
+                lines.append(f"  peak queue depth: {depth.high:.0f} packets")
+            flows = hub.labels("packets_served")
+            if flows:
+                lines.append(
+                    "  flow                 served      bits  dropped "
+                    "mean_delay   p99_delay"
+                )
+            for flow in flows:
+                served = hub.get("packets_served", flow)
+                bits = hub.get("bits_served", flow)
+                dropped = hub.get("packets_dropped", flow)
+                delay = hub.get("delay", flow)
+                served_v = served.value if isinstance(served, Counter) else 0
+                bits_v = bits.value if isinstance(bits, Counter) else 0
+                dropped_v = dropped.value if isinstance(dropped, Counter) else 0
+                mean_d = delay.mean if isinstance(delay, Histogram) else 0.0
+                p99_d = (
+                    delay.quantile(0.99) if isinstance(delay, Histogram) else 0.0
+                )
+                lines.append(
+                    f"  {_fmt_label(flow):<18} {served_v:>8.0f} {bits_v:>9.0f} "
+                    f"{dropped_v:>8.0f} {mean_d:>10.6f} {p99_d:>11.6f}"
+                )
+            violations = hub.labels("invariant_violations")
+            for monitor in violations:
+                counter = hub.get("invariant_violations", monitor)
+                if isinstance(counter, Counter) and counter.value:
+                    lines.append(
+                        f"  invariant violations [{_fmt_label(monitor)}]: "
+                        f"{counter.value:.0f}"
+                    )
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot({len(self.hubs)} hubs, meta={sorted(self.meta)})"

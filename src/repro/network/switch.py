@@ -15,9 +15,11 @@ running — the behaviour a real switch exhibits.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List
+from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.core.packet import Packet
+from repro.metrics.hub import MetricsHub
+from repro.metrics.session import hub_for
 from repro.servers.link import Link
 from repro.simulation.engine import Simulator
 
@@ -46,6 +48,7 @@ class Switch:
         sim: Simulator,
         name: str = "switch",
         no_route_policy: str = "raise",
+        metrics: Optional[MetricsHub] = None,
     ) -> None:
         if no_route_policy not in ("raise", "drop"):
             raise ValueError(
@@ -60,6 +63,8 @@ class Switch:
         self.packets_forwarded = 0
         self.packets_dropped_no_route = 0
         self.drop_hooks: List[NoRouteHook] = []
+        #: Online instruments (same ambient wiring as Link.metrics).
+        self.metrics = metrics if metrics is not None else hub_for(name)
 
     def add_port(self, port_name: str, link: Link) -> Link:
         if port_name in self.ports:
@@ -85,11 +90,15 @@ class Switch:
                     f"{self.name}: no route for flow {packet.flow!r}"
                 )
             self.packets_dropped_no_route += 1
+            if self.metrics.enabled:
+                self.metrics.counter("no_route_drops", packet.flow).add()
             now = self.sim.now
             for hook in self.drop_hooks:
                 hook(packet, now)
             return
         self.packets_forwarded += 1
+        if self.metrics.enabled:
+            self.metrics.counter("packets_forwarded", packet.flow).add()
         self.ports[port_name].send(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

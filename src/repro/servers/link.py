@@ -37,6 +37,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.base import Scheduler
 from repro.core.packet import Packet
+from repro.metrics.hub import MetricsHub
+from repro.metrics.session import hub_for
 from repro.servers.base import CapacityProcess
 from repro.simulation.engine import Simulator
 from repro.simulation.tracing import Tracer
@@ -60,6 +62,7 @@ class Link:
         per_flow_buffer_packets: Optional[Dict] = None,
         drop_policy: str = "drop_tail",
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsHub] = None,
     ) -> None:
         if drop_policy not in ("drop_tail", "longest_queue"):
             raise ValueError(
@@ -79,6 +82,11 @@ class Link:
         #: 1989), protecting light flows from heavy ones at the buffer.
         self.drop_policy = drop_policy
         self.tracer = tracer if tracer is not None else Tracer(name)
+        #: Online instruments; defaults to the ambient hub for this
+        #: server name — the shared null hub (enabled=False) unless a
+        #: MetricsSession is active, in which case every guarded update
+        #: below goes live. Same discipline as the tracer.
+        self.metrics = metrics if metrics is not None else hub_for(name)
         self.departure_hooks: List[DepartureHook] = []
         self.drop_hooks: List[DropHook] = []
         #: Fired for every *accepted* arrival, after the scheduler has
@@ -121,6 +129,8 @@ class Link:
                 if handle is not None:
                     tracer.mark_dropped(handle)
                 self.packets_dropped += 1
+                if self.metrics.enabled:
+                    self.metrics.on_dropped(packet.flow, packet.length, now)
                 if self.drop_hooks:
                     for hook in self.drop_hooks:
                         hook(packet, now)
@@ -128,6 +138,11 @@ class Link:
         if handle is not None:
             self._records[packet.uid] = handle
         self.scheduler.enqueue(packet, now)
+        if self.metrics.enabled:
+            self.metrics.on_arrival(packet.flow, packet.length, now)
+            self.metrics.on_queue_sample(
+                self.scheduler.backlog_packets, self.scheduler.backlog_bits
+            )
         if self.arrival_hooks:
             for hook in self.arrival_hooks:
                 hook(packet, now)
@@ -161,6 +176,8 @@ class Link:
         if victim_handle is not None:
             self.tracer.mark_dropped(victim_handle)
         self.packets_dropped += 1
+        if self.metrics.enabled:
+            self.metrics.on_dropped(victim.flow, victim.length, now)
         for hook in self.drop_hooks:
             hook(victim, now)
         return victim
@@ -235,6 +252,13 @@ class Link:
                 self.tracer.mark_departure(handle, now)
         self.bits_transmitted += packet.length
         self.packets_transmitted += 1
+        if self.metrics.enabled:
+            self.metrics.on_served(
+                packet.flow, packet.length, now - packet.arrival, now
+            )
+            self.metrics.on_queue_sample(
+                self.scheduler.backlog_packets, self.scheduler.backlog_bits
+            )
         self.scheduler.on_service_complete(packet, now)
         if self.departure_hooks:
             for hook in self.departure_hooks:
@@ -309,6 +333,8 @@ class Link:
                 self.tracer.mark_dropped(handle)
             packet.meta["outage_drop"] = True
             self.packets_dropped += 1
+            if self.metrics.enabled:
+                self.metrics.on_dropped(packet.flow, packet.length, now)
             self.scheduler.on_service_complete(packet, now)
             for hook in self.drop_hooks:
                 hook(packet, now)

@@ -180,3 +180,57 @@ def test_campaign_command_end_to_end(tmp_path, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "2 served from cache" in out
+
+
+def test_metrics_parser_flags():
+    args = build_parser().parse_args(
+        ["metrics", "figure1", "--seed", "3", "--results-dir", "out"]
+    )
+    assert args.command == "metrics"
+    assert args.experiment == "figure1"
+    assert args.seed == 3
+    assert args.results_dir == "out"
+    args = build_parser().parse_args(["run", "figure1", "--metrics"])
+    assert args.metrics is True
+    args = build_parser().parse_args(["campaign", "--metrics"])
+    assert args.metrics is True
+
+
+def test_metrics_command_writes_snapshot(tmp_path, capsys):
+    code = main(
+        ["metrics", "example1", "--results-dir", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "server" in out and "metrics snapshot:" in out
+    json_path = tmp_path / "metrics" / "example1.json"
+    csv_path = tmp_path / "metrics" / "example1.csv"
+    assert json_path.exists() and csv_path.exists()
+
+    from repro.metrics import Snapshot
+
+    snap = Snapshot.from_json(json_path.read_text())
+    assert snap.meta["experiment"] == "example1"
+    assert snap.hubs  # at least one instrumented server
+
+
+def test_run_metrics_flag_prints_table_and_summary(tmp_path, capsys):
+    code = main(
+        ["run", "example2", "--metrics", "--results-dir", str(tmp_path)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Example 2" in out          # the experiment's own table
+    assert "metrics snapshot:" in out  # plus the telemetry artifacts
+    assert (tmp_path / "metrics" / "example2.json").exists()
+
+
+def test_campaign_metrics_flag_writes_merged_snapshot(tmp_path, capsys):
+    code = main([
+        "campaign", "--only", "example1", "--jobs", "1", "--metrics",
+        "--results-dir", str(tmp_path), "--quiet", "--no-cache",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "metrics snapshot:" in out
+    assert (tmp_path / "metrics" / "example1.json").exists()
