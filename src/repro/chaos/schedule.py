@@ -1,0 +1,302 @@
+"""Fault-schedule generation: the randomized half of chaos testing.
+
+A :class:`ChaosSchedule` is a complete, self-contained description of
+one faulted run — topology (one link at a fixed capacity), traffic
+(CBR flows with weights, rates and start times), and a time-ordered
+list of :class:`FaultEvent`\\ s drawn from the full injector zoo
+(:mod:`repro.faults`): link outages, server stalls, mid-run
+re-weightings, flow churn windows, and packet-level loss/reordering.
+
+Everything is rooted at a single integer seed through
+:func:`repro.simulation.random.derive_seed`, so a schedule is a pure
+function of its seed: ``generate_schedule(7)`` produces byte-identical
+payloads on every machine, worker count, and Python process. That is
+what makes a chaos *campaign* shardable (the campaign runner fans
+seeds across workers) and a chaos *failure* reproducible (the shrinker
+serializes the schedule and replays it deterministically).
+
+Schedules round-trip losslessly through :meth:`ChaosSchedule.to_payload`
+/ :meth:`ChaosSchedule.from_payload` — the shrinker edits payload-level
+copies and the replay artifact embeds one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.simulation.random import RandomStreams, derive_seed
+
+__all__ = [
+    "FlowSpec",
+    "FaultEvent",
+    "ChaosSchedule",
+    "generate_schedule",
+    "EVENT_KINDS",
+]
+
+#: Every fault-event kind a schedule may contain, with its params:
+#:
+#: ``outage``        ``{"up": t, "recovery": "replay"|"drop"}`` (at = down)
+#: ``stall``         ``{"duration": d}`` (at = freeze start)
+#: ``reweight``      ``{"flow": id, "weight": w}`` (at = apply time)
+#: ``churn``         ``{"flow": id, "stop": t, "weight": w, "rate": r,
+#:                   "packet_length": l}`` (at = join time)
+#: ``packet_faults`` ``{"p_loss": p, "p_reorder": p,
+#:                   "max_reorder_delay": d}`` (at = 0, whole-run)
+EVENT_KINDS = ("outage", "stall", "reweight", "churn", "packet_faults")
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One base CBR flow of a chaos topology."""
+
+    flow_id: str
+    weight: float
+    rate: float  # bits/s offered
+    packet_length: int  # bits
+    start: float = 0.0
+    jitter: float = 0.0  # CBR inter-packet jitter fraction (0 = exact)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "flow_id": self.flow_id,
+            "weight": self.weight,
+            "rate": self.rate,
+            "packet_length": self.packet_length,
+            "start": self.start,
+            "jitter": self.jitter,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FlowSpec":
+        return cls(
+            flow_id=str(payload["flow_id"]),
+            weight=float(payload["weight"]),
+            rate=float(payload["rate"]),
+            packet_length=int(payload["packet_length"]),
+            start=float(payload.get("start", 0.0)),
+            jitter=float(payload.get("jitter", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault of a chaos schedule (see :data:`EVENT_KINDS`)."""
+
+    kind: str
+    at: float
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {EVENT_KINDS}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "at": self.at, "params": dict(self.params)}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        return cls(
+            kind=str(payload["kind"]),
+            at=float(payload["at"]),
+            params=dict(payload.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A complete faulted-run description (topology + traffic + faults)."""
+
+    seed: int
+    duration: float
+    capacity: float
+    flows: List[FlowSpec]
+    events: List[FaultEvent]
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+    def events_of(self, kind: str) -> List[FaultEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def replace(self, **overrides: Any) -> "ChaosSchedule":
+        """A copy with ``overrides`` applied (lists are not shared)."""
+        out = replace(self, **overrides)
+        return replace(out, flows=list(out.flows), events=list(out.events))
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": "chaos-schedule/1",
+            "seed": self.seed,
+            "duration": self.duration,
+            "capacity": self.capacity,
+            "flows": [f.to_payload() for f in self.flows],
+            "events": [e.to_payload() for e in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ChaosSchedule":
+        schema = payload.get("schema")
+        if schema != "chaos-schedule/1":
+            raise ValueError(f"unknown ChaosSchedule schema {schema!r}")
+        return cls(
+            seed=int(payload["seed"]),
+            duration=float(payload["duration"]),
+            capacity=float(payload["capacity"]),
+            flows=[FlowSpec.from_payload(f) for f in payload["flows"]],
+            events=[FaultEvent.from_payload(e) for e in payload["events"]],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+_PACKET_LENGTHS = (4000, 8000, 12000)
+_WEIGHTS = (0.5, 1.0, 1.0, 2.0)
+_REWEIGHT_FACTORS = (0.5, 0.75, 1.5, 2.0)
+
+
+def generate_schedule(
+    seed: int,
+    duration: float = 6.0,
+    capacity: float = 1e6,
+) -> ChaosSchedule:
+    """Sample one chaos schedule — a pure function of ``seed``.
+
+    The topology is a single link at ``capacity`` bits/s carrying 2–4
+    CBR flows whose aggregate offered load is drawn around the link
+    rate (0.8–1.2×), so queues build and the fairness monitor sees real
+    common-backlog spans. Flow 0 starts at t=0; every later flow starts
+    strictly after — the late joiner is exactly the arrival pattern the
+    virtual-time restart rule (and its classic bug, dropping the
+    ``max`` in the start-tag computation) is sensitive to.
+
+    Fault mix per schedule: 1–3 link outages (replay or drop recovery),
+    6–14 short server stalls (freely overlapping the outages — counted
+    pause composition), 0 or 2–8 re-weightings of base flows, 0–2 churn
+    windows, and (60% of seeds) whole-run packet loss/reordering.
+
+    All draws come from the single stream ``"generate"`` of
+    ``RandomStreams(derive_seed("chaos", "schedule", seed))`` in a fixed
+    order, so the schedule depends on nothing but the seed.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rng = RandomStreams(derive_seed("chaos", "schedule", seed)).stream(
+        "generate"
+    )
+
+    # --- traffic ----------------------------------------------------------
+    n_flows = rng.randint(2, 4)
+    weights = [rng.choice(_WEIGHTS) for _ in range(n_flows)]
+    total_weight = sum(weights)
+    load = rng.uniform(0.8, 1.2)  # aggregate offered load / capacity
+    flows: List[FlowSpec] = []
+    for i in range(n_flows):
+        share = weights[i] / total_weight
+        rate = load * capacity * share * rng.uniform(0.85, 1.15)
+        start = 0.0 if i == 0 else rng.uniform(0.05, 0.25) * duration
+        flows.append(
+            FlowSpec(
+                flow_id=f"f{i}",
+                weight=weights[i],
+                rate=rate,
+                packet_length=rng.choice(_PACKET_LENGTHS),
+                start=start,
+                jitter=rng.choice((0.0, 0.1)),
+            )
+        )
+
+    events: List[FaultEvent] = []
+
+    # --- link outages (non-overlapping among themselves) ------------------
+    n_outages = rng.randint(1, 3)
+    t = rng.uniform(0.1, 0.3) * duration
+    for _ in range(n_outages):
+        span = rng.uniform(0.1, 0.4)
+        if t + span >= duration * 0.9:
+            break
+        events.append(
+            FaultEvent(
+                "outage",
+                t,
+                {
+                    "up": t + span,
+                    "recovery": rng.choice(("replay", "drop")),
+                },
+            )
+        )
+        t += span + rng.uniform(0.4, 1.2)
+
+    # --- server stalls (may overlap outages and each other) ---------------
+    for _ in range(rng.randint(6, 14)):
+        events.append(
+            FaultEvent(
+                "stall",
+                rng.uniform(0.05, 0.95) * duration,
+                {"duration": rng.uniform(0.01, 0.06)},
+            )
+        )
+
+    # --- re-weightings (absent on ~40% of seeds so Theorem 1 stays
+    # strictly checkable on those schedules — see repro.chaos.runner) ------
+    if rng.random() < 0.6:
+        for _ in range(rng.randint(2, 8)):
+            victim = rng.randrange(n_flows)
+            events.append(
+                FaultEvent(
+                    "reweight",
+                    rng.uniform(0.3, 0.9) * duration,
+                    {
+                        "flow": flows[victim].flow_id,
+                        "weight": flows[victim].weight
+                        * rng.choice(_REWEIGHT_FACTORS),
+                    },
+                )
+            )
+
+    # --- churn windows ----------------------------------------------------
+    for i in range(rng.randint(0, 2)):
+        join = rng.uniform(0.2, 0.5) * duration
+        stay = rng.uniform(0.15, 0.4) * duration
+        events.append(
+            FaultEvent(
+                "churn",
+                join,
+                {
+                    "flow": f"churn{i}",
+                    "stop": join + stay,
+                    "weight": rng.choice((0.5, 1.0)),
+                    "rate": rng.uniform(0.1, 0.3) * capacity,
+                    "packet_length": rng.choice(_PACKET_LENGTHS),
+                },
+            )
+        )
+
+    # --- packet-level faults (whole-run) ----------------------------------
+    if rng.random() < 0.6:
+        events.append(
+            FaultEvent(
+                "packet_faults",
+                0.0,
+                {
+                    "p_loss": rng.uniform(0.0, 0.05),
+                    "p_reorder": rng.uniform(0.0, 0.05),
+                    "max_reorder_delay": rng.uniform(0.005, 0.02),
+                },
+            )
+        )
+
+    events.sort(key=lambda e: (e.at, e.kind))
+    return ChaosSchedule(
+        seed=int(seed),
+        duration=float(duration),
+        capacity=float(capacity),
+        flows=flows,
+        events=events,
+    )

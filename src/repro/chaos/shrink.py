@@ -1,0 +1,325 @@
+"""Failure minimization: ddmin over fault schedules, plus replay.
+
+When a chaos run records an :class:`InvariantViolation`, the raw
+schedule is a poor bug report — dozens of fault events, several flows,
+seconds of simulated time, most of it irrelevant. :func:`shrink_failure`
+minimizes it while preserving the *oracle* ("running this schedule
+against this scheduler reproduces a violation of the same invariant"):
+
+1. **ddmin over fault events** — classic delta debugging (Zeller &
+   Hildebrandt): try ever-finer chunk subsets and complements of the
+   event list, keeping any reduction that still fails;
+2. **greedy flow removal** — drop base flows (and any fault event
+   referencing them) while at least two remain and the failure
+   persists;
+3. **duration halving** — trim the simulated horizon while the
+   violation still fires inside it;
+4. **seed canonicalization** — prefer a small schedule seed (0–3) when
+   any of them reproduces, so minimized artifacts are stable and
+   human-comparable ("bisect seeds" in the small).
+
+Every oracle invocation is one deterministic :func:`run_schedule`, so
+the whole shrink is itself reproducible. The result serializes into a
+``chaos-repro/1`` JSON artifact (:func:`write_artifact`) that
+:func:`replay_artifact` — and ``python -m repro chaos replay <path>`` —
+re-runs and checks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.fixtures import ensure_fixture_registered
+from repro.chaos.runner import ChaosReport, run_schedule
+from repro.chaos.schedule import ChaosSchedule, FaultEvent
+
+__all__ = [
+    "ShrinkResult",
+    "ReplayOutcome",
+    "shrink_failure",
+    "write_artifact",
+    "load_artifact",
+    "replay_artifact",
+    "ARTIFACT_SCHEMA",
+]
+
+ARTIFACT_SCHEMA = "chaos-repro/1"
+
+#: Shortest horizon the duration-halving step will try (seconds).
+MIN_DURATION = 0.25
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing schedule plus provenance."""
+
+    schedule: ChaosSchedule
+    algorithm: str
+    invariant: str
+    violation: Dict[str, Any]  # payload on the *minimized* schedule
+    original_events: int
+    original_flows: int
+    original_duration: float
+    original_seed: int
+    oracle_runs: int
+
+    @property
+    def minimized_events(self) -> int:
+        return self.schedule.event_count
+
+    @property
+    def minimized_flows(self) -> int:
+        return len(self.schedule.flows)
+
+
+class _Oracle:
+    """Memoized failure check: schedule -> violation payload or None.
+
+    Caches on the canonical schedule payload so ddmin's re-tests are
+    free, and stops admitting *new* runs once ``max_runs`` is spent —
+    the shrink then simply keeps its best-so-far reduction.
+    """
+
+    def __init__(self, algorithm: str, invariant: str, max_runs: int) -> None:
+        self.algorithm = algorithm
+        self.invariant = invariant
+        self.max_runs = max_runs
+        self.runs = 0
+        self._cache: Dict[str, Optional[Dict[str, Any]]] = {}
+
+    def __call__(self, schedule: ChaosSchedule) -> Optional[Dict[str, Any]]:
+        key = json.dumps(schedule.to_payload(), sort_keys=True)
+        if key in self._cache:
+            return self._cache[key]
+        if self.runs >= self.max_runs:
+            return None  # budget spent: treat as not reproducing
+        self.runs += 1
+        report = run_schedule(schedule, self.algorithm)
+        violation = report.first_violation(self.invariant)
+        self._cache[key] = violation
+        return violation
+
+
+def _ddmin_events(
+    schedule: ChaosSchedule, oracle: _Oracle
+) -> ChaosSchedule:
+    """Minimize ``schedule.events`` under the oracle (classic ddmin)."""
+    if oracle(schedule.replace(events=[])) is not None:
+        return schedule.replace(events=[])
+    events: List[FaultEvent] = list(schedule.events)
+    granularity = 2
+    while len(events) >= 2:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        # Subsets first (fast path to tiny reproducers), then
+        # complements (the classic reduce-to-complement step).
+        candidates: List[List[FaultEvent]] = []
+        for lo in range(0, len(events), chunk):
+            candidates.append(events[lo : lo + chunk])
+        for lo in range(0, len(events), chunk):
+            candidates.append(events[:lo] + events[lo + chunk :])
+        for candidate in candidates:
+            if len(candidate) >= len(events):
+                continue
+            if oracle(schedule.replace(events=candidate)) is not None:
+                events = candidate
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return schedule.replace(events=events)
+
+
+def _without_flow(schedule: ChaosSchedule, flow_id: str) -> ChaosSchedule:
+    """Drop one base flow and every fault event referencing it."""
+    return schedule.replace(
+        flows=[f for f in schedule.flows if f.flow_id != flow_id],
+        events=[
+            e for e in schedule.events if e.params.get("flow") != flow_id
+        ],
+    )
+
+
+def _shrink_flows(schedule: ChaosSchedule, oracle: _Oracle) -> ChaosSchedule:
+    """Greedily remove base flows while the failure persists."""
+    changed = True
+    while changed and len(schedule.flows) > 2:
+        changed = False
+        for spec in list(schedule.flows):
+            candidate = _without_flow(schedule, spec.flow_id)
+            if len(candidate.flows) < 2:
+                continue  # invariants need contention to mean anything
+            if oracle(candidate) is not None:
+                schedule = candidate
+                changed = True
+                break
+    return schedule
+
+
+def _shrink_duration(
+    schedule: ChaosSchedule, oracle: _Oracle
+) -> ChaosSchedule:
+    """Halve the horizon while the violation still fires inside it."""
+    while schedule.duration / 2 >= MIN_DURATION:
+        candidate = schedule.replace(duration=schedule.duration / 2)
+        if oracle(candidate) is None:
+            break
+        schedule = candidate
+    return schedule
+
+
+def _canonicalize_seed(
+    schedule: ChaosSchedule, oracle: _Oracle
+) -> ChaosSchedule:
+    """Prefer the smallest schedule seed that still reproduces."""
+    for seed in range(4):
+        if seed == schedule.seed:
+            break
+        candidate = schedule.replace(seed=seed)
+        if oracle(candidate) is not None:
+            return candidate
+    return schedule
+
+
+def shrink_failure(
+    schedule: ChaosSchedule,
+    algorithm: str,
+    invariant: Optional[str] = None,
+    max_oracle_runs: int = 300,
+) -> ShrinkResult:
+    """Minimize a failing schedule to a small deterministic reproducer.
+
+    ``invariant=None`` takes the first violation the unshrunk schedule
+    produces. Raises ``ValueError`` when the schedule does not fail at
+    all — a shrinker that "minimizes" a passing input hides harness
+    bugs.
+    """
+    baseline = run_schedule(schedule, algorithm)
+    first = baseline.first_violation(invariant)
+    if first is None:
+        raise ValueError(
+            f"schedule (seed={schedule.seed}) produces no "
+            f"{invariant or 'invariant'} violation on {algorithm}; "
+            "nothing to shrink"
+        )
+    target = str(first["invariant"])
+    oracle = _Oracle(algorithm, target, max_oracle_runs)
+
+    shrunk = _ddmin_events(schedule, oracle)
+    shrunk = _shrink_flows(shrunk, oracle)
+    shrunk = _shrink_duration(shrunk, oracle)
+    shrunk = _canonicalize_seed(shrunk, oracle)
+
+    violation = oracle(shrunk)
+    assert violation is not None  # every kept reduction passed the oracle
+    return ShrinkResult(
+        schedule=shrunk,
+        algorithm=algorithm,
+        invariant=target,
+        violation=violation,
+        original_events=schedule.event_count,
+        original_flows=len(schedule.flows),
+        original_duration=schedule.duration,
+        original_seed=schedule.seed,
+        oracle_runs=oracle.runs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Artifacts: serialize, load, replay
+# ---------------------------------------------------------------------------
+
+
+def write_artifact(result: ShrinkResult, path: Path) -> Path:
+    """Serialize a minimized reproducer as a ``chaos-repro/1`` file."""
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "algorithm": result.algorithm,
+        "invariant": result.invariant,
+        "violation": result.violation,
+        "schedule": result.schedule.to_payload(),
+        "original": {
+            "seed": result.original_seed,
+            "events": result.original_events,
+            "flows": result.original_flows,
+            "duration": result.original_duration,
+        },
+        "shrink": {
+            "events": result.minimized_events,
+            "flows": result.minimized_flows,
+            "oracle_runs": result.oracle_runs,
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: Path) -> Dict[str, Any]:
+    """Read and schema-check a ``chaos-repro/1`` artifact."""
+    payload = json.loads(Path(path).read_text())
+    schema = payload.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown artifact schema {schema!r} "
+            f"(expected {ARTIFACT_SCHEMA})"
+        )
+    return payload
+
+
+@dataclass
+class ReplayOutcome:
+    """What replaying an artifact produced."""
+
+    artifact: Dict[str, Any]
+    report: ChaosReport
+    #: a violation of the artifact's invariant fired again
+    reproduced: bool
+    #: ... with a payload byte-identical to the recorded one
+    exact: bool
+
+    def describe(self) -> str:
+        a = self.artifact
+        status = (
+            "reproduced exactly"
+            if self.exact
+            else "reproduced" if self.reproduced else "DID NOT REPRODUCE"
+        )
+        return (
+            f"{a['algorithm']} / {a['invariant']}: {status} "
+            f"({len(self.report.violations)} violation(s); schedule: "
+            f"{len(a['schedule']['events'])} events, "
+            f"{len(a['schedule']['flows'])} flows, "
+            f"{a['schedule']['duration']:.3g}s, seed {a['schedule']['seed']})"
+        )
+
+
+def replay_artifact(path: Path) -> ReplayOutcome:
+    """Re-run a serialized reproducer and check it still fails.
+
+    ``reproduced`` asserts the invariant class fired again (robust to
+    incidental float drift across future code changes); ``exact``
+    additionally requires the recorded violation payload verbatim.
+    """
+    artifact = load_artifact(path)
+    algorithm = str(artifact["algorithm"])
+    ensure_fixture_registered(algorithm)
+    schedule = ChaosSchedule.from_payload(artifact["schedule"])
+    report = run_schedule(schedule, algorithm)
+    invariant = str(artifact["invariant"])
+    matching = [
+        v for v in report.violations if v["invariant"] == invariant
+    ]
+    return ReplayOutcome(
+        artifact=artifact,
+        report=report,
+        reproduced=bool(matching),
+        exact=artifact["violation"] in matching,
+    )

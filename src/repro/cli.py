@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, List, Optional
 
 from repro.experiments import (
@@ -174,6 +175,59 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--bench-output", default="BENCH_campaign.json",
         help="path for --bench output (default BENCH_campaign.json)",
+    )
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault campaigns across the scheduler zoo, with "
+             "failure minimization and artifact replay",
+    )
+    chaos.add_argument(
+        "mode", nargs="?", choices=("run", "replay"), default="run",
+        help="'run' a campaign (default) or 'replay' a chaos-repro artifact",
+    )
+    chaos.add_argument(
+        "artifact", nargs="?", default=None,
+        help="artifact path (replay mode only)",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, default=5,
+        help="fault schedules per scheduler (default 5)",
+    )
+    chaos.add_argument(
+        "--schedulers", default=None,
+        help="comma-separated discipline subset (default: the stock zoo)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = in-process)",
+    )
+    chaos.add_argument(
+        "--base-seed", type=int, default=0,
+        help="base seed mixed into every schedule seed (default 0)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=6.0,
+        help="simulated horizon per schedule in seconds (default 6)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run timeout in seconds (run is marked failed)",
+    )
+    chaos.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    chaos.add_argument(
+        "--no-shrink", action="store_true",
+        help="report violations without minimizing them",
+    )
+    chaos.add_argument(
+        "--results-dir", default="results",
+        help="directory for the cache and repro artifacts "
+             "(default: results)",
+    )
+    chaos.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress"
     )
     lint = sub.add_parser(
         "lint",
@@ -351,6 +405,41 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
     return 1 if campaign.failures else 0
 
 
+def _run_chaos_command(args: argparse.Namespace) -> int:
+    """``python -m repro chaos [run|replay]``."""
+    if args.mode == "replay":
+        from repro.chaos import replay_artifact
+
+        if args.artifact is None:
+            print("chaos replay: missing artifact path")
+            return 2
+        outcome = replay_artifact(Path(args.artifact))
+        print(outcome.describe())
+        return 0 if outcome.reproduced else 1
+
+    from repro.chaos import DEFAULT_ZOO, run_chaos_campaign
+
+    schedulers = (
+        [s for s in args.schedulers.split(",") if s]
+        if args.schedulers
+        else list(DEFAULT_ZOO)
+    )
+    result = run_chaos_campaign(
+        schedulers,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        base_seed=args.base_seed,
+        duration=args.duration,
+        cache=not args.no_cache,
+        results_dir=args.results_dir,
+        timeout=args.timeout,
+        shrink=not args.no_shrink,
+        progress=None if args.quiet else print,
+    )
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -378,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if failures else 0
     if args.command == "campaign":
         return _run_campaign_command(args)
+    if args.command == "chaos":
+        return _run_chaos_command(args)
     if args.command == "lint":
         from repro.lint.cli import run_lint
 

@@ -56,6 +56,7 @@ REGISTRY: Dict[str, str] = {
     "interop": "repro.experiments.interop:run_interop",
     "stress": "repro.experiments.stress:run_stress",
     "faults": "repro.experiments.fault_tolerance:run_fault_tolerance",
+    "chaos": "repro.chaos.experiment:run_chaos_case",
     "robust-figure1": "repro.experiments.robustness:run_figure1_robustness",
     "robust-figure2b": "repro.experiments.robustness:run_figure2b_robustness",
     "complexity": "repro.experiments.complexity:run_complexity",
@@ -83,6 +84,8 @@ DESCRIPTIONS: Dict[str, str] = {
     "interop": "Section 2.4: heterogeneous schedulers interoperate",
     "stress": "Theorem 1 under Pareto traffic + Gilbert-Elliott link",
     "faults": "Fault tolerance: link outage + flow churn, invariant monitors",
+    "chaos": "Chaos case: randomized fault schedule vs one scheduler, "
+             "invariant monitors on",
     "robust-figure1": "Robustness: Figure 1(b) across buffers and seeds",
     "robust-figure2b": "Robustness: Figure 2(b) excess across seeds",
     "complexity": "Complexity accounting: GPS work vs self-clocking",
@@ -92,7 +95,8 @@ DESCRIPTIONS: Dict[str, str] = {
 #: campaign runner only fans these out across seed slots; the rest are
 #: deterministic and run exactly once per parameter set.
 ACCEPTS_SEED = frozenset(
-    {"table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress", "faults"}
+    {"table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress",
+     "faults", "chaos"}
 )
 
 #: Experiments whose run function accepts a ``duration=`` keyword.

@@ -79,6 +79,11 @@ PARAM_GRIDS: Dict[str, List[Dict[str, Any]]] = {
 #: in-shard exceptions, which are deterministic and reported directly).
 DEFAULT_RETRIES = 1
 
+#: Crash-retry backoff shape: first retry waits ~RETRY_BACKOFF_BASE
+#: seconds, doubling per attempt up to RETRY_BACKOFF_CAP.
+RETRY_BACKOFF_BASE = 0.25
+RETRY_BACKOFF_CAP = 5.0
+
 
 @dataclass(frozen=True)
 class Shard:
@@ -159,6 +164,27 @@ class CampaignResult:
 
 # --------------------------------------------------------------------------
 # Shard expansion and seed derivation
+
+
+def retry_backoff(
+    shard: Shard,
+    attempt: int,
+    base: float = RETRY_BACKOFF_BASE,
+    cap: float = RETRY_BACKOFF_CAP,
+) -> float:
+    """Delay (seconds) before re-dispatching a crashed shard.
+
+    Exponential in ``attempt`` (the number of attempts already made,
+    >= 1), capped, with +/-25% jitter — but the jitter is *derived*
+    from the shard token and attempt number through
+    :func:`derive_seed`, not drawn from a live RNG: retry timing, like
+    everything else in a campaign, is a pure function of its inputs.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    expo = min(cap, base * (2 ** (attempt - 1)))
+    unit = (derive_seed("retry-backoff", shard.token(), attempt) % 1024) / 1024.0
+    return expo * (0.75 + 0.5 * unit)
 
 
 def derive_shard_seed(
@@ -438,6 +464,10 @@ def _run_pool(
 
     pending = deque(range(len(shards)))
     attempts = [0] * len(shards)
+    # Crash retries are not re-dispatched immediately: retry_backoff()
+    # gates each one, so a poisoned shard (or a transiently sick
+    # machine) cannot hot-loop worker respawns.
+    not_before: Dict[int, float] = {}
     outcomes: Dict[int, ShardOutcome] = {}
     workers = [spawn_worker() for _ in range(min(jobs, len(shards)))]
 
@@ -468,11 +498,21 @@ def _run_pool(
 
     try:
         while len(outcomes) < len(shards):
-            # Dispatch to idle workers.
+            # Dispatch to idle workers (skipping shards still backing
+            # off — they rotate to the back of the queue).
             for worker in workers:
                 if worker.task is None and pending:
-                    index = pending.popleft()
-                    if index in outcomes:
+                    index = None
+                    for _ in range(len(pending)):
+                        candidate = pending.popleft()
+                        if candidate in outcomes:
+                            continue
+                        if time.monotonic() < not_before.get(candidate, 0.0):  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
+                            pending.append(candidate)
+                            continue
+                        index = candidate
+                        break
+                    if index is None:
                         continue
                     attempts[index] += 1
                     worker.queue.put(
@@ -511,6 +551,9 @@ def _run_pool(
                         pass
                     if index not in outcomes:
                         if attempts[index] <= retries:
+                            not_before[index] = time.monotonic() + retry_backoff(  # lint: disable=DET002  harness wall-clock bookkeeping, not simulation state
+                                shards[index], attempts[index]
+                            )
                             pending.appendleft(index)
                         else:
                             record(
@@ -608,6 +651,14 @@ def aggregate(
                     outcome.status,
                     outcome.error.splitlines()[0] if outcome.error else "",
                 )
+            summary.data["campaign"] = {
+                "seeds": seeds,
+                "truncated": True,
+                "shards": [
+                    {"key": json.loads(o.shard.token()), "status": o.status}
+                    for o in group
+                ],
+            }
             summaries[name] = summary
             continue
 
@@ -655,6 +706,14 @@ def aggregate(
                 f"cell values are means over {max(seed_counts)} derived "
                 "seeds; per-cell [min, max] in data['ranges']"
             )
+        if failed:
+            # Partial aggregate: crashed/timed-out shards are dropped
+            # from the cells, never silently absorbed — the summary is
+            # flagged truncated and each miss is itemized below.
+            summary.note(
+                f"TRUNCATED: aggregate covers {len(ok)} of {len(group)} "
+                "shards; the rest crashed or timed out"
+            )
         for outcome in failed:
             summary.note(
                 f"FAILED shard {outcome.shard.describe()} "
@@ -666,6 +725,7 @@ def aggregate(
         summary.data["ranges"] = all_ranges
         summary.data["campaign"] = {
             "seeds": seeds,
+            "truncated": bool(failed),
             "shards": [
                 {
                     "key": json.loads(o.shard.token()),
@@ -807,6 +867,7 @@ def run_campaign(
         "ok": sum(1 for o in ordered if o.ok),
         "failed": sum(1 for o in ordered if not o.ok),
         "cached": sum(1 for o in ordered if o.from_cache),
+        "retried": sum(1 for o in ordered if o.attempts > 1),
         "jobs": jobs,
         "seeds": seeds,
     }

@@ -261,6 +261,7 @@ def run_fault_tolerance(
         ],
     )
     scenarios: Dict[str, Dict[str, object]] = {}
+    all_violations: List[Dict[str, object]] = []
     window_spans = {
         "pre-outage": T_DOWN - 0.0,
         "outage": T_UP - T_DOWN,
@@ -290,10 +291,14 @@ def run_fault_tolerance(
                 share * 100.0,
                 fairness_violations if window == "recovery" else "",
             )
+        payloads = monitors.violations_payload()
+        all_violations.extend(
+            dict(p, scenario=f"outage:{algorithm}") for p in payloads
+        )
         scenarios[algorithm] = {
             "received": received,
             "late_share": late_share,
-            "violations": [str(v) for v in monitors.violations],
+            "violations": payloads,
             "fairness_violations": fairness_violations,
             "conservation_ok": monitors.conservation.ok
             if monitors.conservation
@@ -323,8 +328,13 @@ def run_fault_tolerance(
             f"{len(churn_monitors.violations)} invariant violations"
         )
         result.data["churn"] = churn_stats
-        result.data["churn_violations"] = [
-            str(v) for v in churn_monitors.violations
-        ]
+        churn_payloads = churn_monitors.violations_payload()
+        result.data["churn_violations"] = churn_payloads
+        all_violations.extend(
+            dict(p, scenario="churn") for p in churn_payloads
+        )
+    # Flat scenario-tagged list: downstream tooling (the chaos campaign,
+    # CI gates) reads one key instead of walking per-scenario dicts.
+    result.data["violations"] = all_violations
     result.data["seed"] = seed
     return result

@@ -9,9 +9,13 @@ while it happens.
 Two halves:
 
 * :mod:`repro.faults.injectors` — :class:`LinkOutage`,
-  :class:`FlowChurn`, :class:`PacketFaults`; deterministic or seeded
-  via :class:`repro.simulation.random.RandomStreams`, so every faulted
-  run is a pure function of its seed.
+  :class:`FlowChurn`, :class:`PacketFaults`, :class:`ServerStall`
+  (short scheduler freezes) and :class:`WeightReconfig` (mid-run flow
+  re-weighting); deterministic or seeded via
+  :class:`repro.simulation.random.RandomStreams`, so every faulted
+  run is a pure function of its seed. Pause-driving injectors compose
+  through the link's counted pause depth, so overlapping fault windows
+  never double-pause or lose the in-flight packet.
 * :mod:`repro.faults.monitors` — :class:`FairnessMonitor` (Theorem 1,
   online), :class:`VirtualTimeMonitor`, :class:`ConservationAuditor`;
   each raises or records structured :class:`InvariantViolation`\\ s.
@@ -21,7 +25,13 @@ run faults``) for the headline result: SFQ re-converges to fair shares
 after an outage while WFQ starves the late joiner.
 """
 
-from repro.faults.injectors import FlowChurn, LinkOutage, PacketFaults
+from repro.faults.injectors import (
+    FlowChurn,
+    LinkOutage,
+    PacketFaults,
+    ServerStall,
+    WeightReconfig,
+)
 from repro.faults.monitors import (
     ConservationAuditor,
     FairnessMonitor,
@@ -36,6 +46,8 @@ __all__ = [
     "LinkOutage",
     "FlowChurn",
     "PacketFaults",
+    "ServerStall",
+    "WeightReconfig",
     "InvariantViolation",
     "Monitor",
     "FairnessMonitor",

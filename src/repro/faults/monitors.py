@@ -36,7 +36,7 @@ common-backlog span opens.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.core.packet import Packet
 from repro.metrics.hub import NULL_METRICS, MetricsHub
@@ -83,6 +83,26 @@ class InvariantViolation(Exception):
         super().__init__(
             f"[{invariant}] t={self.time:.9g} "
             f"window=[{self.window[0]:.9g}, {self.window[1]:.9g}]: {detail}"
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-JSON form (chaos artifacts, ``ExperimentResult.data``)."""
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "window": [self.window[0], self.window[1]],
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "InvariantViolation":
+        """Inverse of :meth:`to_payload`."""
+        window = payload.get("window")
+        return cls(
+            str(payload["invariant"]),
+            float(payload["time"]),
+            str(payload["detail"]),
+            (float(window[0]), float(window[1])) if window else None,
         )
 
 
@@ -309,6 +329,36 @@ class FairnessMonitor(Monitor):
                     if other_pairs is not None:
                         other_pairs.pop(key, None)
 
+    def rebase_flow(self, flow: Hashable, now: float) -> None:
+        """Restart every measurement span involving ``flow`` at ``now``.
+
+        Theorem 1's constants (:math:`r_f`, :math:`l_f^{max}`) are fixed
+        over the measured interval; when a flow is re-weighted mid-run
+        (:class:`repro.faults.WeightReconfig`) the accumulated
+        normalized-gap state mixes two rate regimes and stops meaning
+        anything. Rebasing refreshes the cached weight from the
+        scheduler and resets each open pair span as if the common
+        backlog had just begun — the packet currently on the wire is
+        naturally excluded by the span-start check in ``_credit``,
+        exactly as at a span's first opening.
+        """
+        if not self._tracked(flow):
+            return
+        state = self.link.scheduler.flows.get(flow)
+        if state is not None:
+            self._weight[flow] = state.weight
+            self._inv_weight[flow] = state.inv_weight
+        pairs = self._flow_pairs.get(flow)
+        if not pairs:
+            return
+        # Mutate in place: the same _PairState object is referenced from
+        # _pairs and from both flows' indexes.
+        for pair in pairs.values():
+            pair.since = now
+            pair.d = 0.0
+            pair.dmin = 0.0
+            pair.dmax = 0.0
+
     @staticmethod
     def _key(a: Hashable, b: Hashable) -> Tuple[Hashable, Hashable]:
         return (a, b) if repr(a) <= repr(b) else (b, a)
@@ -462,9 +512,24 @@ class MonitorSuite:
         out.sort(key=lambda v: v.time)
         return out
 
+    def violations_payload(self) -> List[Dict[str, Any]]:
+        """Every recorded violation in plain-JSON form, time-ordered.
+
+        This is the structure experiments surface under
+        ``ExperimentResult.data["violations"]`` — a machine-readable
+        record, not just a counter.
+        """
+        return [v.to_payload() for v in self.violations]
+
     @property
     def ok(self) -> bool:
         return all(m.ok for m in self.monitors)
+
+    @property
+    def fail_fast(self) -> bool:
+        """True when every installed monitor raises on first violation."""
+        monitors = self.monitors
+        return bool(monitors) and all(m.mode == "raise" for m in monitors)
 
     def audit(self) -> None:
         """Run the end-of-run conservation reconciliation."""
@@ -487,14 +552,25 @@ def install_monitors(
     conservation: bool = True,
     slack: float = 1e-9,
     bound_factor: float = 1.0,
+    fail_fast: Optional[bool] = None,
 ) -> MonitorSuite:
     """Attach the standard invariant monitors to ``link``.
 
     ``virtual_time=None`` auto-detects: the monitor is installed iff the
-    link's scheduler exposes a ``virtual_time`` property. Returns the
-    :class:`MonitorSuite`; call its :meth:`~MonitorSuite.audit` (or
-    :meth:`~MonitorSuite.assert_clean`) after the run.
+    link's scheduler exposes a ``virtual_time`` property.
+
+    ``fail_fast`` is the ergonomic switch over ``mode``: ``True`` means
+    raise at the first violation (``mode="raise"`` — debugging, CI
+    gates), ``False`` means record and continue (``mode="record"`` —
+    measurement, chaos campaigns). When given it overrides ``mode``;
+    ``None`` leaves ``mode`` in charge.
+
+    Returns the :class:`MonitorSuite`; call its
+    :meth:`~MonitorSuite.audit` (or :meth:`~MonitorSuite.assert_clean`)
+    after the run.
     """
+    if fail_fast is not None:
+        mode = "raise" if fail_fast else "record"
     if virtual_time is None:
         virtual_time = hasattr(link.scheduler, "virtual_time")
     return MonitorSuite(

@@ -13,6 +13,8 @@ DET002     wall-clock reads (``time.time``, ``datetime.now``,
 DET003     iteration over ``set``/``dict`` views feeding heap pushes,
            event scheduling or flow registration without ``sorted(...)``
 DET004     ``id()``-based tie-breaking inside comparators or sort keys
+DET005     RNG seeds in ``repro.chaos``/``repro.faults`` not rooted in
+           ``derive_seed`` (raw ``Random(...)``, literal stream seeds)
 TAG001     float ``==``/``!=`` on virtual-time/tag expressions
 PERF001    hot-path classes under ``repro.core``/``repro.simulation``
            without ``__slots__``
@@ -688,3 +690,59 @@ class HotPathSlotsRule(Rule):
                 "has no __slots__; declare them (or justify the instance "
                 "dict with a disable directive)",
             )
+
+
+# ---------------------------------------------------------------------------
+# DET005 — fault/chaos seed provenance
+# ---------------------------------------------------------------------------
+
+
+@register
+class ChaosSeedProvenanceRule(Rule):
+    """RNG seeds in fault-injection and chaos code must be *derived*.
+
+    The chaos subsystem's whole contract is that a failing run is a pure
+    function of one root seed: every stream a schedule, injector, or
+    campaign shard draws from must be reachable from that root through
+    :func:`repro.simulation.random.derive_seed` /
+    :class:`~repro.simulation.random.RandomStreams`. A raw
+    ``random.Random(...)`` (ad-hoc generator, untracked seed) or a
+    ``RandomStreams(<literal>)`` (hard-coded root that silently decouples
+    the component from the campaign's seed grid) breaks replay and
+    shrinking in ways no test notices until an artifact fails to
+    reproduce.
+    """
+
+    code = "DET005"
+    summary = "fault/chaos RNG seed not rooted in derive_seed()"
+
+    _SCOPES = ("repro/chaos/", "repro/faults/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not any(scope in ctx.norm_path for scope in self._SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf == "Random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"raw `{name}(...)` in fault/chaos code; draw from "
+                    "RandomStreams(derive_seed(...)).stream(name) so the "
+                    "generator is reachable from the campaign's root seed",
+                )
+            elif leaf == "RandomStreams" and node.args:
+                seed = node.args[0]
+                if isinstance(seed, ast.Constant):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "RandomStreams() seeded with a literal; root the "
+                        "seed in derive_seed(...) so replay and shrinking "
+                        "can re-derive it",
+                    )

@@ -29,6 +29,16 @@ outage hit is either retransmitted from scratch (``recovery="replay"``)
 or dropped and counted (``recovery="drop"``) at recovery time. The
 :class:`repro.faults.LinkOutage` injector drives these hooks on a
 deterministic or seeded schedule.
+
+Pause/resume is *counted*, not boolean: each :meth:`pause` increments a
+hold depth and each :meth:`resume` releases one hold, with service
+restarting (and the recovery policy applying) only when the depth
+returns to zero. This is what lets several composed injectors — two
+overlapping :class:`~repro.faults.LinkOutage`\\ s, or an outage plus a
+:class:`~repro.faults.ServerStall` — each take the link down over
+overlapping windows without double-pausing, resuming underneath each
+other, or destroying the in-flight packet that the outer hold still
+owns. A :meth:`resume` with no hold outstanding stays a no-op.
 """
 
 from __future__ import annotations
@@ -93,7 +103,9 @@ class Link:
         #: enqueued it (runtime invariant monitors hang off these).
         self.arrival_hooks: List[ArrivalHook] = []
         self._busy = False
-        self._paused = False
+        # Outage hold depth: >0 means the link is down. Counted (not
+        # boolean) so composed injectors can pause/resume independently.
+        self._pause_depth = 0
         self._in_flight: Optional[Packet] = None
         self._completion = None  # pending transmission-complete event
         self._wakeup = None  # pending eligibility wake-up event
@@ -210,7 +222,7 @@ class Link:
             # A departure hook already restarted service reentrantly
             # (e.g. a closed-loop source refilling inside _complete).
             return
-        if self._paused:
+        if self._pause_depth:
             # Link is down: arrivals queue, the transmitter stays idle.
             return
         now = self.sim.now
@@ -273,17 +285,19 @@ class Link:
     # Outage control (link down / up)
     # ------------------------------------------------------------------
     def pause(self) -> None:
-        """Take the link down at the current simulation time.
+        """Take the link down (one hold) at the current simulation time.
 
-        The in-flight transmission (if any) is aborted — its completion
-        event is cancelled and the packet is held for :meth:`resume` to
-        replay or drop. Arrivals while paused are queued normally (up to
-        the buffer limits); no service starts until :meth:`resume`.
-        Pausing an already-paused link is a no-op.
+        The first hold aborts the in-flight transmission (if any) — its
+        completion event is cancelled and the packet is held for the
+        final :meth:`resume` to replay or drop. Arrivals while paused
+        are queued normally (up to the buffer limits); no service starts
+        until every hold is released. Pausing an already-paused link
+        stacks another hold (counted semantics) so composed injectors
+        never double-abort the same transmission.
         """
-        if self._paused:
+        self._pause_depth += 1
+        if self._pause_depth > 1:
             return
-        self._paused = True
         if self._completion is not None and self._completion.pending:
             self._completion.cancel()
         self._completion = None
@@ -292,7 +306,7 @@ class Link:
         self._wakeup = None
 
     def resume(self, recovery: str = "replay") -> None:
-        """Bring the link back up.
+        """Release one hold; bring the link back up at depth zero.
 
         ``recovery="replay"`` retransmits the packet that was on the
         wire when the outage hit from scratch (the receiver saw only a
@@ -300,16 +314,20 @@ class Link:
         in :attr:`packets_dropped` and firing drop hooks, which models a
         link that flushes its transmit ring on reset. Either way the
         service loop restarts, so a zero-capacity episode can never
-        deadlock the link. Resuming a link that is not paused is a
-        no-op.
+        deadlock the link. The recovery policy is applied by the
+        *final* release only — while other holds remain the link stays
+        down and the in-flight packet stays parked. Resuming a link
+        with no hold outstanding is a no-op.
         """
         if recovery not in ("replay", "drop"):
             raise ValueError(
                 f"recovery must be 'replay' or 'drop', got {recovery!r}"
             )
-        if not self._paused:
+        if self._pause_depth == 0:
             return
-        self._paused = False
+        self._pause_depth -= 1
+        if self._pause_depth:
+            return
         now = self.sim.now
         packet = self._in_flight
         if packet is not None:
@@ -349,8 +367,13 @@ class Link:
 
     @property
     def paused(self) -> bool:
-        """True while the link is down (between pause() and resume())."""
-        return self._paused
+        """True while the link is down (at least one hold outstanding)."""
+        return self._pause_depth > 0
+
+    @property
+    def pause_depth(self) -> int:
+        """Number of outstanding pause holds (0 = link up)."""
+        return self._pause_depth
 
     @property
     def in_flight(self) -> Optional[Packet]:

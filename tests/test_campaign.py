@@ -122,7 +122,7 @@ def test_campaign_cache_roundtrip(tmp_path):
                   results_dir=str(tmp_path))
     cold = run_campaign(["tiny", "tiny2"], seeds=2, jobs=1, **kwargs)
     assert cold.stats == dict(shards=4, ok=4, failed=0, cached=0,
-                              jobs=1, seeds=2)
+                              retried=0, jobs=1, seeds=2)
     warm = run_campaign(["tiny", "tiny2"], seeds=2, jobs=1, **kwargs)
     assert warm.stats["cached"] == 4
     assert [s.render() for s in cold.summaries.values()] == [
@@ -316,3 +316,82 @@ def test_run_all_names_cover_registry():
     for name in ACCEPTS_SEED:
         grid = len(PARAM_GRIDS.get(name, [{}]))
         assert fan_counts[name] == 2 * grid
+
+
+# ---------------------------------------------------------------------------
+# Retry backoff and partial aggregation (campaign hardening)
+
+
+def test_retry_backoff_deterministic_and_shaped():
+    from repro.experiments.campaign import (
+        RETRY_BACKOFF_BASE,
+        RETRY_BACKOFF_CAP,
+        retry_backoff,
+    )
+
+    shard = Shard("x", "m:f", (), 0, 1)
+    first = retry_backoff(shard, 1)
+    assert first == retry_backoff(shard, 1)  # derived jitter, no live RNG
+    assert 0.75 * RETRY_BACKOFF_BASE <= first <= 1.25 * RETRY_BACKOFF_BASE
+    second = retry_backoff(shard, 2)
+    assert 0.75 * 2 * RETRY_BACKOFF_BASE <= second <= 1.25 * 2 * RETRY_BACKOFF_BASE
+    assert retry_backoff(shard, 50) <= 1.25 * RETRY_BACKOFF_CAP
+    # Jitter depends on the shard identity and the attempt number.
+    other = Shard("y", "m:f", (), 0, 1)
+    assert len({first, second, retry_backoff(other, 1)}) == 3
+    with pytest.raises(ValueError):
+        retry_backoff(shard, 0)
+
+
+def test_timeout_shard_yields_truncated_partial_aggregate():
+    grids = {
+        "probe": [{"duration": 30.0, "tag": 0}, {"duration": 0.01, "tag": 1}]
+    }
+    targets = {"probe": "repro.experiments.campaign:run_sleep_probe"}
+    campaign = run_campaign(
+        ["probe"], jobs=2, cache=False, timeout=1.0,
+        grids=grids, targets=targets,
+    )
+    assert campaign.stats["failed"] == 1
+    summary = campaign.summaries["probe"]
+    info = summary.data["campaign"]
+    assert info["truncated"] is True
+    assert {s["status"] for s in info["shards"]} == {"ok", "timeout"}
+    assert any("TRUNCATED" in note for note in summary.notes)
+    # The surviving shard's row is aggregated, not discarded.
+    assert [row[0] for row in summary.rows] == [1]
+
+
+def test_healthy_campaign_not_flagged_truncated():
+    campaign = run_campaign(
+        ["tiny"], seeds=2, jobs=1, cache=False,
+        targets=SYNTH_TARGETS, accepts_seed=SYNTH_SEEDED,
+    )
+    info = campaign.summaries["tiny"].data["campaign"]
+    assert info["truncated"] is False
+    assert campaign.stats["retried"] == 0
+
+
+def test_all_failed_summary_flagged_truncated():
+    campaign = run_campaign(
+        ["boom"], seeds=1, jobs=1, cache=False,
+        targets=SYNTH_TARGETS, accepts_seed=SYNTH_SEEDED,
+    )
+    info = campaign.summaries["boom"].data["campaign"]
+    assert info["truncated"] is True
+    assert info["shards"][0]["status"] == "failed"
+
+
+def test_crashed_shard_retry_is_backoff_gated():
+    from repro.experiments.campaign import retry_backoff
+
+    campaign = run_campaign(
+        ["crash", "tiny"], seeds=1, jobs=2, cache=False, retries=1,
+        targets=SYNTH_TARGETS, accepts_seed=SYNTH_SEEDED,
+    )
+    crash = next(o for o in campaign.outcomes if o.shard.experiment == "crash")
+    assert crash.status == "failed"
+    assert crash.attempts == 2
+    assert campaign.stats["retried"] == 1
+    # The wall clock shows at least the first attempt's backoff window.
+    assert campaign.wall_s >= retry_backoff(crash.shard, 1) * 0.5

@@ -234,3 +234,56 @@ def test_campaign_metrics_flag_writes_merged_snapshot(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "metrics snapshot:" in out
     assert (tmp_path / "metrics" / "example1.json").exists()
+
+
+def test_chaos_parser_flags():
+    args = build_parser().parse_args([
+        "chaos", "--seeds", "3", "--schedulers", "SFQ,FIFO", "--jobs", "2",
+        "--base-seed", "9", "--duration", "4.5", "--no-cache", "--no-shrink",
+        "--quiet",
+    ])
+    assert args.command == "chaos"
+    assert args.mode == "run" and args.artifact is None
+    assert args.seeds == 3
+    assert args.schedulers == "SFQ,FIFO"
+    assert args.jobs == 2
+    assert args.base_seed == 9
+    assert args.duration == 4.5
+    assert args.no_cache and args.no_shrink and args.quiet
+
+
+def test_chaos_run_command_clean_zoo(tmp_path, capsys):
+    code = main([
+        "chaos", "--seeds", "1", "--schedulers", "SFQ,FIFO", "--no-cache",
+        "--results-dir", str(tmp_path), "--quiet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos campaign: 2 runs" in out
+    assert "0 run(s) with invariant violations" in out
+
+
+def test_chaos_run_command_fails_on_fixture(tmp_path, capsys):
+    code = main([
+        "chaos", "--seeds", "1", "--schedulers", "BrokenSFQ", "--no-cache",
+        "--results-dir", str(tmp_path), "--quiet",
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION BrokenSFQ" in out
+    assert (tmp_path / "chaos").is_dir()
+
+
+def test_chaos_replay_command(capsys):
+    from pathlib import Path
+
+    artifact = Path(__file__).parent / "reference" / "chaos" / "known_bad.json"
+    assert main(["chaos", "replay", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "reproduced" in out
+
+
+def test_chaos_replay_requires_artifact(capsys):
+    assert main(["chaos", "replay"]) == 2
+    out = capsys.readouterr().out
+    assert "missing artifact path" in out

@@ -12,6 +12,8 @@ from repro.faults import (
     InvariantViolation,
     LinkOutage,
     PacketFaults,
+    ServerStall,
+    WeightReconfig,
     install_monitors,
 )
 from repro.faults.monitors import FairnessMonitor, VirtualTimeMonitor
@@ -88,17 +90,70 @@ def test_arrivals_during_outage_queue_and_drain_on_resume():
     assert not link.paused
 
 
-def test_pause_resume_edge_cases_are_noops():
+def test_pause_resume_counted_semantics():
     sim = Simulator()
     link = make_link(sim)
     link.resume()  # resume of an up link: no-op
+    assert link.pause_depth == 0
     link.pause()
-    link.pause()  # double pause: no-op
+    link.pause()  # second hold stacks (composed injectors)
     assert link.paused
+    assert link.pause_depth == 2
+    link.resume()
+    assert link.paused  # one hold still outstanding
     link.resume()
     assert not link.paused
+    link.resume()  # extra resume stays a no-op
+    assert link.pause_depth == 0
     with pytest.raises(ValueError):
         link.resume(recovery="retry")
+
+
+def test_overlapping_holds_keep_in_flight_packet():
+    # Outage A hits mid-transmission; outage B opens and closes *inside*
+    # A's window with recovery="drop". The in-flight packet belongs to
+    # the outer hold: it must survive B's release and be replayed when A
+    # finally resumes — not double-aborted, not destroyed by B's drop.
+    sim = Simulator()
+    link = make_link(sim)  # 1000 b/s, 1000 b packets: 1 s service
+    sink = PacketSink()
+    link.departure_hooks.append(sink.on_packet)
+    feed(sim, link, "f", [0.0])
+    sim.at(0.5, link.pause)  # A down, packet aborted mid-wire
+    sim.at(1.0, link.pause)  # B down (overlapping)
+    sim.at(2.0, link.resume, "drop")  # B up: inner release, no recovery yet
+    sim.at(3.0, link.resume)  # A up: replay from scratch
+    sim.run()
+    assert sink.received["f"] == [(4.0, 0)]
+    assert link.packets_transmitted == 1
+    assert link.packets_dropped == 0
+
+
+def test_back_to_back_outages_from_two_injectors():
+    # Injector A owns [1, 2], injector B owns [2, 3]. At t=2 the event
+    # order may interleave B's down before A's up; counted holds make
+    # the link stay continuously dark over [1, 3] either way, and the
+    # packet interrupted at t=1 is replayed exactly once at t=3.
+    sim = Simulator()
+    link = make_link(sim)
+    sink = PacketSink()
+    link.departure_hooks.append(sink.on_packet)
+    feed(sim, link, "f", [0.5])  # in service over [0.5, 1.5) — interrupted
+    a = LinkOutage(sim, link, schedule=[(1.0, 2.0)])
+    b = LinkOutage(sim, link, schedule=[(2.0, 3.0)])
+    b.start()  # started first so B's _down fires before A's _up at t=2
+    a.start()
+    states = []
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.at(t, lambda: states.append(link.paused))
+    sim.run()
+    assert states == [False, True, True, False]
+    assert a.outages == 1 and b.outages == 1
+    assert sink.received["f"] == [(4.0, 0)]
+    assert link.packets_transmitted == 1
+    assert link.packets_dropped == 0
+    assert a.downtime == pytest.approx(1.0)
+    assert b.downtime == pytest.approx(1.0)
 
 
 def test_zero_capacity_episode_cannot_deadlock():
@@ -455,3 +510,188 @@ def test_switch_no_route_policy_validation_and_route_removal():
     switch.remove_route("never-installed")  # no-op
     switch.receive(Packet("f", 1000))
     assert switch.packets_dropped_no_route == 1
+
+
+# ----------------------------------------------------------------------
+# ServerStall
+# ----------------------------------------------------------------------
+def test_server_stall_defers_service_without_losing_work():
+    sim = Simulator()
+    link = make_link(sim)  # 1000 b/s, 1000 b packets: 1 s service
+    sink = PacketSink()
+    link.departure_hooks.append(sink.on_packet)
+    feed(sim, link, "f", [0.0, 0.1])
+    # Stall opens mid-service of packet 0: the in-flight packet
+    # finishes on time, only packet 1's start is deferred.
+    stall = ServerStall(sim, link, schedule=[(0.5, 2.0)])
+    stall.start()
+    sim.run()
+    assert sink.received["f"] == [(1.0, 0), (3.5, 1)]
+    assert link.packets_dropped == 0
+    assert stall.stalls == 1
+    assert not link.paused
+
+
+def test_server_stall_schedule_validation():
+    sim = Simulator()
+    link = make_link(sim)
+    with pytest.raises(ValueError):
+        ServerStall(sim, link)  # neither mode
+    with pytest.raises(ValueError):
+        ServerStall(sim, link, schedule=[(0.0, 1.0)],
+                    streams=RandomStreams(1))  # both modes
+    with pytest.raises(ValueError):
+        ServerStall(sim, link, schedule=[(0.0, 1.0), (0.5, 1.0)])  # overlap
+    with pytest.raises(ValueError):
+        ServerStall(sim, link, schedule=[(0.0, 0.0)])  # empty window
+    with pytest.raises(ValueError):
+        ServerStall(sim, link, streams=RandomStreams(1))  # missing means
+
+
+def test_seeded_server_stalls_reproducible_and_clean():
+    def run(seed):
+        sim = Simulator()
+        link = make_link(sim, capacity=4000.0)
+        sink = PacketSink()
+        link.departure_hooks.append(sink.on_packet)
+        monitors = install_monitors(link, bound_factor=float("inf"))
+        link.scheduler.add_flow("f", 1.0)
+        CBRSource(sim, "f", link.send, rate=3000.0, packet_length=1000,
+                  stop_time=4.0).start()
+        stall = ServerStall(
+            sim, link, streams=RandomStreams(seed),
+            mean_time_between=0.4, mean_stall=0.1, stop_time=4.0,
+        )
+        stall.start()
+        sim.run(until=6.0)
+        monitors.audit()
+        assert not monitors.violations
+        assert stall.stalls > 0
+        return sink.received["f"]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_stall_spanning_outage_defers_next_service():
+    sim = Simulator()
+    link = make_link(sim)
+    sink = PacketSink()
+    link.departure_hooks.append(sink.on_packet)
+    feed(sim, link, "f", [0.0, 0.1])
+    # Outage [0.5, 2.0) aborts packet 0 mid-service; replay retransmits
+    # it over [2.0, 3.0]. The stall window [1.0, 4.5) opens while that
+    # packet is logically on the wire (replay pending), so the freeze
+    # stays pending until the replayed transmission completes at t=3.0,
+    # then holds the link until t=4.5: packet 1 is served over
+    # [4.5, 5.5]. No hold is leaked and no work is lost.
+    LinkOutage(sim, link, schedule=[(0.5, 2.0)]).start()
+    stall = ServerStall(sim, link, schedule=[(1.0, 3.5)])
+    stall.start()
+    sim.run()
+    assert sink.received["f"] == [(3.0, 0), (5.5, 1)]
+    assert link.pause_depth == 0
+    assert link.packets_dropped == 0
+
+
+def test_stall_window_inside_outage_never_takes_hold():
+    sim = Simulator()
+    link = make_link(sim)
+    sink = PacketSink()
+    link.departure_hooks.append(sink.on_packet)
+    feed(sim, link, "f", [0.0])
+    # The entire stall window [1.0, 1.5) falls inside the outage
+    # [0.5, 2.0) while packet 0 is replay-pending: the freeze defers to
+    # the in-flight packet, the window closes first, and the stall must
+    # release its pending state without ever pausing — the outage's own
+    # recovery timeline is untouched.
+    LinkOutage(sim, link, schedule=[(0.5, 2.0)]).start()
+    stall = ServerStall(sim, link, schedule=[(1.0, 0.5)])
+    stall.start()
+    sim.run()
+    assert sink.received["f"] == [(3.0, 0)]
+    assert link.pause_depth == 0
+    assert link.packets_dropped == 0
+
+
+# ----------------------------------------------------------------------
+# WeightReconfig
+# ----------------------------------------------------------------------
+def test_weight_reconfig_applies_and_skips():
+    sim = Simulator()
+    link = make_link(sim)
+    observed = []
+    link.scheduler.add_flow("a", 1.0)
+    reconfig = WeightReconfig(
+        sim, link,
+        events=[(1.0, "a", 3.0), (2.0, "ghost", 1.0)],
+        on_reweight=lambda flow, weight, now: observed.append(
+            (flow, weight, now)
+        ),
+    )
+    reconfig.start()
+    sim.run()
+    assert reconfig.applied == 1
+    assert reconfig.skipped == 1  # 'ghost' is unknown: counted, not fatal
+    assert observed == [("a", 3.0, 1.0)]
+    assert link.scheduler.flows["a"].weight == 3.0
+
+
+def test_weight_reconfig_validation():
+    sim = Simulator()
+    link = make_link(sim)
+    with pytest.raises(ValueError):
+        WeightReconfig(sim, link)  # neither mode
+    with pytest.raises(ValueError):
+        WeightReconfig(sim, link, events=[(1.0, "a", 0.0)])  # weight <= 0
+    with pytest.raises(ValueError):
+        WeightReconfig(sim, link, streams=RandomStreams(1))  # missing args
+
+
+def test_weight_reconfig_shifts_service_shares():
+    # Two persistently backlogged flows, equal weights; at t=0.5 flow
+    # b's weight triples. Packets tagged before the event keep their
+    # old spacing (per-packet rates, Section 2.3), so the event is
+    # placed early — almost every packet served afterwards is tagged
+    # under the new weights and the service split converges to ~3:1.
+    sim = Simulator()
+    link = make_link(sim, capacity=8000.0)
+    sink = PacketSink()
+    link.departure_hooks.append(sink.on_packet)
+    for flow in ("a", "b"):
+        link.scheduler.add_flow(flow, 1.0)
+        CBRSource(sim, flow, link.send, rate=8000.0, packet_length=1000,
+                  stop_time=20.0).start()
+    reconfig = WeightReconfig(sim, link, events=[(0.5, "b", 3.0)])
+    reconfig.start()
+    sim.run(until=20.0)
+    before = {f: sum(1 for t, _ in sink.received[f] if t <= 0.5)
+              for f in ("a", "b")}
+    after = {f: sum(1 for t, _ in sink.received[f] if t > 2.0)
+             for f in ("a", "b")}
+    assert reconfig.applied == 1
+    assert abs(before["a"] - before["b"]) <= 1  # equal shares pre-event
+    assert after["b"] > 2 * after["a"]  # ~3:1 split post-event
+
+
+def test_seeded_weight_reconfig_reproducible():
+    def run(seed):
+        sim = Simulator()
+        link = make_link(sim, capacity=8000.0)
+        sink = PacketSink()
+        link.departure_hooks.append(sink.on_packet)
+        for flow in ("a", "b"):
+            link.scheduler.add_flow(flow, 1.0)
+            CBRSource(sim, flow, link.send, rate=6000.0, packet_length=1000,
+                      stop_time=5.0).start()
+        reconfig = WeightReconfig(
+            sim, link, streams=RandomStreams(seed), flow_ids=("a", "b"),
+            mean_interval=0.7, stop_time=5.0,
+        )
+        reconfig.start()
+        sim.run(until=8.0)
+        return reconfig.applied, dict(sink.received)
+
+    assert run(11) == run(11)
+    applied, _ = run(11)
+    assert applied > 0

@@ -176,6 +176,47 @@ def test_det004_passes_uid_tiebreak():
 
 
 # ---------------------------------------------------------------------------
+# DET005 — fault/chaos seed provenance
+# ---------------------------------------------------------------------------
+
+_CHAOS_PATH = "repro/chaos/schedule.py"
+
+
+def test_det005_catches_raw_random_in_chaos_code():
+    findings = run_lint_on_source(
+        "import random\nrng = random.Random(3)\n", path=_CHAOS_PATH
+    )
+    assert "DET005" in codes(findings)
+
+
+def test_det005_catches_literal_streams_seed_in_faults_code():
+    findings = run_lint_on_source(
+        "from repro.simulation.random import RandomStreams\n"
+        "streams = RandomStreams(1234)\n",
+        path="repro/faults/injectors.py",
+    )
+    assert "DET005" in codes(findings)
+
+
+def test_det005_passes_derived_seed():
+    findings = run_lint_on_source(
+        "from repro.simulation.random import RandomStreams, derive_seed\n"
+        "def make(seed):\n"
+        "    return RandomStreams(derive_seed('chaos', seed))\n",
+        path=_CHAOS_PATH,
+    )
+    assert "DET005" not in codes(findings)
+
+
+def test_det005_ignores_code_outside_chaos_and_faults():
+    findings = run_lint_on_source(
+        "import random\nrng = random.Random(3)\n",
+        path="repro/traffic/cbr.py",
+    )
+    assert "DET005" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
 # TAG001 — float equality on tag expressions
 # ---------------------------------------------------------------------------
 
@@ -309,7 +350,8 @@ def test_resolve_rules_rejects_unknown_codes():
 
 def test_registry_is_complete():
     assert set(all_rule_codes()) == set(RULES) == {
-        "DET001", "DET002", "DET003", "DET004", "TAG001", "PERF001",
+        "DET001", "DET002", "DET003", "DET004", "DET005", "TAG001",
+        "PERF001",
     }
     for rule in RULES.values():
         assert rule.summary
@@ -358,21 +400,24 @@ def test_cli_list_rules(capsys):
         assert code in out
 
 
-@pytest.mark.parametrize("code,source", [
-    ("DET001", "import random\nx = random.random()\n"),
-    ("DET002", "import time\nt = time.time()\n"),
+@pytest.mark.parametrize("code,source,subdir", [
+    ("DET001", "import random\nx = random.random()\n", "core"),
+    ("DET002", "import time\nt = time.time()\n", "core"),
     ("DET003", (
         "from heapq import heappush\n"
         "def f(items, heap):\n"
         "    for x in set(items):\n"
         "        heappush(heap, x)\n"
-    )),
-    ("DET004", "def sort_key(p):\n    return id(p)\n"),
-    ("TAG001", "def f(a, b):\n    return a.finish_tag == b.finish_tag\n"),
-    ("PERF001", _UNSLOTTED),
+    ), "core"),
+    ("DET004", "def sort_key(p):\n    return id(p)\n", "core"),
+    ("DET005", "import random\nrng = random.Random(3)\n", "chaos"),
+    ("TAG001", "def f(a, b):\n    return a.finish_tag == b.finish_tag\n", "core"),
+    ("PERF001", _UNSLOTTED, "core"),
 ])
-def test_cli_nonzero_on_each_rules_catching_fixture(tmp_path, capsys, code, source):
-    fixture = tmp_path / "repro" / "core" / "fixture.py"
+def test_cli_nonzero_on_each_rules_catching_fixture(
+    tmp_path, capsys, code, source, subdir
+):
+    fixture = tmp_path / "repro" / subdir / "fixture.py"
     fixture.parent.mkdir(parents=True, exist_ok=True)
     fixture.write_text(source)
     assert lint_main([str(fixture), "--select", code]) == 1
