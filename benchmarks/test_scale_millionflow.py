@@ -1,0 +1,43 @@
+"""Bench: hierarchical link-sharing at scale — per-packet cost stays
+near-flat as the flow population grows 100x (the paper's O(log Q)
+claim, §2.5, measured on the array backend), churn recycles slab slots,
+and the departure schedule is backend-independent."""
+
+from __future__ import annotations
+
+from conftest import save_result
+from repro.experiments.scale import run_scale
+
+
+def test_scale_flatness_and_churn(benchmark):
+    # CI-sized sweep: 100x in flows, small packet budget. The committed
+    # full-size numbers (10^3..10^6) live in BENCH_scale.json.
+    result = benchmark.pedantic(
+        run_scale,
+        kwargs={"flows": [500, 50_000], "packets_target": 20_000,
+                "churn_cycles": 100},
+        rounds=1,
+        iterations=1,
+    )
+    points = {p["flows"]: p for p in result.data["points"]}
+
+    # O(log F): 100x the flows must not cost anywhere near 100x — allow
+    # generous slack for shared-runner noise, the claim is "near-flat".
+    assert result.data["flat_ratio"] < 3.0
+
+    for p in points.values():
+        # Every churned flow joined, drained, and detached; the churn
+        # leaf's slab never grew past the anchor population.
+        assert p["churn_joined"] == p["churn_detached"] == 100
+        assert p["churn_slab_capacity"] is not None
+        assert p["churn_slab_capacity"] <= 4
+        assert p["packets"] > 0
+
+    # The schedule is a pure function of (seed, params): the object
+    # backend — a completely different data layout — reproduces the
+    # departure digest bit-for-bit.
+    ref = run_scale(flows=500, packets_target=20_000, churn_cycles=100,
+                    backend="object")
+    assert ref.data["points"][0]["digest"] == points[500]["digest"]
+
+    save_result(result)

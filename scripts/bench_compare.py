@@ -39,7 +39,7 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILES = ("BENCH_engine.json", "BENCH_schedulers.json")
+BENCH_FILES = ("BENCH_engine.json", "BENCH_schedulers.json", "BENCH_scale.json")
 
 
 def _walk_metrics(payload, prefix=""):

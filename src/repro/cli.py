@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=5,
         help="timing repeats per measurement; min is reported (default 5)",
     )
+    bench.add_argument(
+        "--flows", type=int, nargs="+", default=None, metavar="N",
+        help="flow-count sweep for the scale family / BENCH_scale.json "
+             "(default: 1000 10000 100000; e.g. --flows 1000 1000000)",
+    )
     report = sub.add_parser(
         "report", help="run the full evaluation and write a Markdown report"
     )
@@ -452,7 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments.bench import run_bench
 
         run_bench(
-            smoke=args.smoke, output_dir=args.output_dir, repeats=args.repeats
+            smoke=args.smoke, output_dir=args.output_dir,
+            repeats=args.repeats, flows=args.flows,
         )
         return 0
     if args.command == "report":

@@ -6,6 +6,15 @@ Fair Airport composite of Appendix B. :class:`HierarchicalScheduler`
 implements Section 3's link-sharing tree over any of them.
 """
 
+from repro.core.arrayheap import (
+    ArrayFQS,
+    ArrayHeadHeapScheduler,
+    ArraySCFQ,
+    ArraySFQ,
+    ArrayVirtualClock,
+    ArrayWF2Q,
+    ArrayWFQ,
+)
 from repro.core.base import Scheduler, SchedulerError, TieBreak
 from repro.core.delay_edd import DelayEDD
 from repro.core.drr import DRR, WRR
@@ -21,10 +30,13 @@ from repro.core.registry import (
     ParamSpec,
     SchedulerSpec,
     available_schedulers,
+    default_backend,
     make_scheduler,
     register_scheduler,
     scheduler_spec,
+    set_default_backend,
 )
+from repro.core.slab import FlowSlab, FlowView, SlabFlowMapping
 from repro.core.scfq import SCFQ
 from repro.core.sfq import SFQ
 from repro.core.virtual_clock import VirtualClock
@@ -64,6 +76,19 @@ __all__ = [
     "register_scheduler",
     "SchedulerSpec",
     "ParamSpec",
+    "default_backend",
+    "set_default_backend",
+    # array backend (repro.core.slab / repro.core.arrayheap)
+    "FlowSlab",
+    "FlowView",
+    "SlabFlowMapping",
+    "ArrayHeadHeapScheduler",
+    "ArraySFQ",
+    "ArraySCFQ",
+    "ArrayWFQ",
+    "ArrayFQS",
+    "ArrayWF2Q",
+    "ArrayVirtualClock",
 ]
 
 #: Back-compat name->class map. Prefer :func:`make_scheduler`, which

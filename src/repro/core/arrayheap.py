@@ -1,0 +1,665 @@
+"""Array-backed tag schedulers: the flow-head heap over a FlowSlab.
+
+This is the performance twin of :mod:`repro.core.headheap`. The object
+backend keeps one :class:`~repro.core.flow.FlowState` per flow and heap
+entries that point at those objects; here per-flow state lives in the
+parallel arrays of :class:`~repro.core.slab.FlowSlab` and heap entries
+carry a plain ``int`` slot instead of an object reference:
+
+``[key, tie_key, uid, packet, slot]``
+
+The heap *ordering* is unchanged — comparisons stop at
+``(key, tie_key, uid)`` exactly as in the object backend, and every tag
+is computed with the same expressions on the same C doubles
+(``array('d')`` stores exact binary64 values), so the service order is
+byte-identical. The trace-equivalence suite runs every workload on both
+backends and asserts identical traces; ``make_scheduler(...,
+backend="array")`` selects this implementation, ``backend="object"``
+the reference one.
+
+What the layout buys at scale (the ISSUE's 10^6-flow target):
+
+* flow registration is an array append / free-slot pop — no object
+  allocation, no ``__init__`` dispatch, and churned flows recycle their
+  slot (and its deque) through the slab free list;
+* numeric per-flow state is 9 × 8 bytes in contiguous buffers instead
+  of a ~500-byte boxed object graph, so million-flow slabs fit hot in
+  cache and the resident footprint stays tens of MB;
+* the hot enqueue/dequeue paths index arrays (``last_finish[slot]``)
+  rather than chasing ``state`` attribute pointers.
+
+External consumers never see slots: ``scheduler.flows`` is a
+:class:`~repro.core.slab.SlabFlowMapping` yielding on-demand
+:class:`~repro.core.slab.FlowView` proxies with the ``FlowState``
+attribute surface (weight, inv_weight, backlog, counters), which is all
+the fault monitors and experiments touch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.base import Scheduler, SchedulerError, TieBreak
+from repro.core.gps import GPSVirtualClock
+from repro.core.headheap import TieBreakRule
+from repro.core.packet import Packet
+from repro.core.slab import FlowSlab, FlowView, SlabFlowMapping
+
+#: 5-slot mutable heap entry ``[key, tie_key, uid, packet, slot]``;
+#: ``entry[3] is None`` marks lazy invalidation (same protocol as the
+#: object backend, with an int slot where it kept a FlowState).
+SlotHeapEntry = List[Any]
+
+__all__ = [
+    "ArrayHeadHeapScheduler",
+    "ArraySFQ",
+    "ArraySCFQ",
+    "ArrayWFQ",
+    "ArrayFQS",
+    "ArrayWF2Q",
+    "ArrayVirtualClock",
+]
+
+
+class ArrayHeadHeapScheduler(Scheduler):
+    """Flow-head heap scheduler over slab-resident per-flow state.
+
+    Subclasses implement the slot-indexed hooks:
+
+    ``_tag_packet_slot(slot, packet, now) -> float``
+        Stamp the packet's tags (arrival-time work) and return the
+        scalar scheduling key.
+    ``_head_key(packet) -> float``
+        Read the scheduling key back off an already-tagged packet.
+    ``_on_dequeued_slot(slot, packet)``
+        Optional virtual-time bookkeeping once a packet is selected.
+    """
+
+    __slots__ = ("_slab", "_tie_break", "_fifo_ties", "_head_heap", "debug_checks")
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(auto_register=auto_register, default_weight=default_weight)
+        self._slab = FlowSlab()
+        # ``flows`` is the public mapping; rebind the dict the base class
+        # installed to the slab-backed view (same attribute surface).
+        self.flows = SlabFlowMapping(self._slab)  # type: ignore[assignment]
+        self._tie_break = tie_break
+        self._fifo_ties = tie_break is TieBreak.fifo
+        self._head_heap: List[SlotHeapEntry] = []
+        self.debug_checks = bool(debug_checks)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        """Stamp tags on an arriving packet; return its scheduling key."""
+        raise NotImplementedError
+
+    def _head_key(self, packet: Packet) -> float:
+        """Scheduling key of an already-tagged packet."""
+        raise NotImplementedError
+
+    def _on_dequeued_slot(self, slot: int, packet: Packet) -> None:
+        """Virtual-time bookkeeping hook; default no-op."""
+
+    # ------------------------------------------------------------------
+    # Flow management (slab-backed overrides of the dict-based base)
+    # ------------------------------------------------------------------
+    def add_flow(self, flow_id: Hashable, weight: float = 1.0) -> FlowView:
+        """Register ``flow_id``; returns a :class:`FlowView` proxy."""
+        slab = self._slab
+        if flow_id in slab.index:
+            raise SchedulerError(f"flow {flow_id!r} already registered")
+        try:
+            slot = slab.alloc(flow_id, weight)
+        except ValueError as exc:
+            raise SchedulerError(str(exc)) from exc
+        return FlowView(slab, slot)
+
+    def remove_flow(self, flow_id: Hashable) -> None:
+        """Unregister an idle flow; its slot returns to the free list."""
+        slab = self._slab
+        slot = slab.index.get(flow_id)
+        if slot is None:
+            raise SchedulerError(f"flow {flow_id!r} not registered")
+        if slab.queues[slot]:
+            raise SchedulerError(f"cannot remove backlogged flow {flow_id!r}")
+        slab.release(slot)
+
+    def set_weight(self, flow_id: Hashable, weight: float) -> None:
+        """Change a flow's weight; applies to subsequently arriving packets."""
+        if weight <= 0:
+            raise SchedulerError(f"weight must be positive, got {weight}")
+        slab = self._slab
+        slab.set_weight(self._slot(flow_id), float(weight))
+
+    def _slot(self, flow_id: Hashable) -> int:
+        slot = self._slab.index.get(flow_id)
+        if slot is None:
+            if not self.auto_register:
+                raise SchedulerError(f"unknown flow {flow_id!r}")
+            slot = self._slab.alloc(flow_id, self.default_weight)
+        return slot
+
+    # ------------------------------------------------------------------
+    # Queueing protocol (slot-indexed fast paths)
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet, now: float) -> None:
+        """Accept ``packet`` arriving at time ``now``."""
+        slot = self._slot(packet.flow)
+        packet.arrival = now
+        length = packet.length
+        self._backlog_packets += 1
+        self._backlog_bits += length
+        key = self._tag_packet_slot(slot, packet, now)
+        slab = self._slab
+        queue = slab.queues[slot]
+        queue.append(packet)
+        slab.bits_enqueued[slot] += length
+        if length > slab.max_length_seen[slot]:
+            slab.max_length_seen[slot] = length
+        if self._fifo_ties:
+            tie: Tuple[Any, ...] = ()
+        else:
+            tie = self._tie_break(FlowView(slab, slot), packet)
+            keys = slab.tie_keys[slot]
+            if keys is None:
+                keys = slab.tie_keys[slot] = deque()
+            keys.append(tie)
+        if len(queue) == 1:
+            # The flow just became backlogged: its head enters the heap.
+            entry: SlotHeapEntry = [key, tie, packet.uid, packet, slot]
+            slab.entries[slot] = entry
+            heapq.heappush(self._head_heap, entry)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Select the next packet for transmission; ``None`` when empty."""
+        packet = self._do_dequeue(now)
+        if packet is not None:
+            length = packet.length
+            self._backlog_packets -= 1
+            self._backlog_bits -= length
+            slab = self._slab
+            slot = slab.index.get(packet.flow)
+            if slot is not None:
+                slab.bits_served[slot] += length
+                slab.packets_served[slot] += 1
+            self.in_service = packet
+        return packet
+
+    def _pop_min_entry(self) -> Optional[SlotHeapEntry]:
+        """Pop the live minimum entry, purging invalidated ones."""
+        heap = self._head_heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[3] is not None:
+                return entry
+        return None
+
+    def _consume_entry(self, entry: SlotHeapEntry) -> Packet:
+        """Dequeue the entry's packet and re-offer the flow's next head."""
+        packet: Packet = entry[3]
+        slot: int = entry[4]
+        slab = self._slab
+        slab.entries[slot] = None
+        queue = slab.queues[slot]
+        head = queue.popleft()
+        if self.debug_checks and head is not packet:
+            raise SchedulerError(
+                f"{self.algorithm} internal error: flow {slab.ids[slot]!r} "
+                "FIFO head diverged from its head-heap entry"
+            )
+        if self._fifo_ties:
+            if queue:
+                nxt = queue[0]
+                fresh: SlotHeapEntry = [self._head_key(nxt), (), nxt.uid, nxt, slot]
+                slab.entries[slot] = fresh
+                heapq.heappush(self._head_heap, fresh)
+        else:
+            keys = slab.tie_keys[slot]
+            assert keys is not None  # non-FIFO enqueue always fills it
+            keys.popleft()
+            if queue:
+                nxt = queue[0]
+                fresh = [self._head_key(nxt), keys[0], nxt.uid, nxt, slot]
+                slab.entries[slot] = fresh
+                heapq.heappush(self._head_heap, fresh)
+        return packet
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        entry = self._pop_min_entry()
+        if entry is None:
+            return None
+        slot: int = entry[4]
+        packet = self._consume_entry(entry)
+        self._on_dequeued_slot(slot, packet)
+        return packet
+
+    def peek(self, now: float) -> Optional[Packet]:
+        """Packet the next ``dequeue`` would return (no side effects)."""
+        heap = self._head_heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        return heap[0][3] if heap else None
+
+    # ------------------------------------------------------------------
+    # discard_tail support (O(1))
+    # ------------------------------------------------------------------
+    def discard_tail(self, flow_id: Hashable) -> Optional[Packet]:
+        """Remove and return the youngest queued packet of ``flow_id``."""
+        slab = self._slab
+        slot = slab.index.get(flow_id)
+        if slot is None or not slab.queues[slot]:
+            return None
+        packet = self._do_discard_tail_slot(slot)
+        if packet is not None:
+            self._backlog_packets -= 1
+            self._backlog_bits -= packet.length
+        return packet
+
+    def _do_discard_tail_slot(self, slot: int) -> Optional[Packet]:
+        raise NotImplementedError(
+            f"{self.algorithm} does not support discard_tail(); use "
+            "drop-tail buffering with it"
+        )
+
+    def _pop_tail(self, slot: int) -> Packet:
+        """Remove a flow's FIFO tail; invalidate its entry if now empty."""
+        slab = self._slab
+        queue = slab.queues[slot]
+        packet = queue.pop()
+        keys = slab.tie_keys[slot]
+        if not self._fifo_ties and keys:
+            keys.pop()
+        if not queue:
+            entry = slab.entries[slot]
+            if entry is not None:
+                entry[3] = None
+                entry[4] = None
+                slab.entries[slot] = None
+        return packet
+
+    # ------------------------------------------------------------------
+    # Introspection (slab-backed overrides)
+    # ------------------------------------------------------------------
+    def backlogged_flows(self) -> List[Hashable]:
+        slab = self._slab
+        return [fid for fid, slot in slab.index.items() if slab.queues[slot]]
+
+    def flow_backlog(self, flow_id: Hashable) -> int:
+        slab = self._slab
+        slot = slab.index.get(flow_id)
+        return len(slab.queues[slot]) if slot is not None else 0
+
+    def total_weight(self, backlogged_only: bool = False) -> float:
+        slab = self._slab
+        slots: Iterable[int] = slab.index.values()
+        if backlogged_only:
+            slots = (s for s in slots if slab.queues[s])
+        return sum(slab.weight[s] for s in slots)
+
+    @property
+    def slab(self) -> FlowSlab:
+        """The backing :class:`FlowSlab` (tests and experiments only)."""
+        return self._slab
+
+    # The abstract pair is satisfied for the ABC; the array backend
+    # replaces enqueue()/dequeue() wholesale with slot-indexed paths, so
+    # the state-object entry point must never be reached.
+    def _do_enqueue(self, state: Any, packet: Packet, now: float) -> None:
+        raise SchedulerError(
+            f"{self.algorithm}[array] uses slot-indexed enqueue; "
+            "_do_enqueue(state, ...) is not part of this backend"
+        )
+
+
+class ArraySFQ(ArrayHeadHeapScheduler):
+    """Start-time Fair Queuing on the slab layout (paper Section 2).
+
+    Tag math is expression-for-expression the object backend's
+    (:class:`repro.core.sfq.SFQ`); only the state addressing differs.
+    """
+
+    __slots__ = ("v", "_max_served_finish")
+
+    algorithm = "SFQ"
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+        self.v = 0.0  # system virtual time v(t)
+        self._max_served_finish = 0.0
+
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        slab = self._slab
+        start = max(self.v, slab.last_finish[slot])
+        # Divide (don't multiply by the cached ``inv_weight``): l/r and
+        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
+        # tags would then break differently from the object backend,
+        # flipping the service order. Byte-identical schedules require
+        # the reference path's exact arithmetic.
+        rate = packet.rate
+        finish = start + packet.length / (slab.weight[slot] if rate is None else rate)
+        packet.start_tag = start
+        packet.finish_tag = finish
+        slab.last_finish[slot] = finish
+        return start
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
+
+    def _on_dequeued_slot(self, slot: int, packet: Packet) -> None:
+        # Rule 2: v(t) is the start tag of the packet in service.
+        self.v = packet.start_tag  # type: ignore[assignment]  # stamped on enqueue
+        finish = packet.finish_tag
+        if finish is not None and finish > self._max_served_finish:
+            self._max_served_finish = finish
+
+    def _do_service_complete(self, packet: Packet, now: float) -> None:
+        if self._backlog_packets == 0:
+            # End of busy period: v is set to the maximum finish tag
+            # assigned to any packet serviced by now (rule 2).
+            self.v = max(self.v, self._max_served_finish)
+
+    def _do_discard_tail_slot(self, slot: int) -> Optional[Packet]:
+        packet = self._pop_tail(slot)
+        slab = self._slab
+        queue = slab.queues[slot]
+        # Re-chain future arrivals off the new tail so no virtual-time
+        # gap is left where the discarded packet sat.
+        tail = queue[-1] if queue else None
+        slab.last_finish[slot] = (
+            tail.finish_tag if tail is not None else packet.start_tag
+        )
+        return packet
+
+    @property
+    def virtual_time(self) -> float:
+        """Current system virtual time ``v(t)``."""
+        return self.v
+
+
+class ArraySCFQ(ArrayHeadHeapScheduler):
+    """Self-Clocked Fair Queuing on the slab layout (Golestani 1994)."""
+
+    __slots__ = ("v", "_max_served_finish")
+
+    algorithm = "SCFQ"
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+        self.v = 0.0
+        self._max_served_finish = 0.0
+
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        slab = self._slab
+        start = max(self.v, slab.last_finish[slot])
+        rate = packet.rate
+        finish = start + packet.length / (slab.weight[slot] if rate is None else rate)
+        packet.start_tag = start
+        packet.finish_tag = finish
+        slab.last_finish[slot] = finish
+        return finish
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
+
+    def _on_dequeued_slot(self, slot: int, packet: Packet) -> None:
+        # Self-clocking: v(t) approximates GPS round number with the
+        # finish tag of the packet in service.
+        finish: float = packet.finish_tag  # type: ignore[assignment]  # stamped on enqueue
+        self.v = finish
+        if finish > self._max_served_finish:
+            self._max_served_finish = finish
+
+    def _do_service_complete(self, packet: Packet, now: float) -> None:
+        if self._backlog_packets == 0:
+            self.v = max(self.v, self._max_served_finish)
+
+    def _do_discard_tail_slot(self, slot: int) -> Optional[Packet]:
+        packet = self._pop_tail(slot)
+        slab = self._slab
+        queue = slab.queues[slot]
+        tail = queue[-1] if queue else None
+        slab.last_finish[slot] = (
+            tail.finish_tag if tail is not None else packet.start_tag
+        )
+        return packet
+
+    @property
+    def virtual_time(self) -> float:
+        """Current system virtual time ``v(t)``."""
+        return self.v
+
+
+class ArrayWFQ(ArrayHeadHeapScheduler):
+    """Weighted Fair Queuing (PGPS) on the slab layout.
+
+    The fluid GPS tracker is shared with the object backend — it is
+    keyed by external flow id and amortized O(1) per packet, so it needs
+    no slot awareness.
+    """
+
+    __slots__ = ("gps",)
+
+    algorithm = "WFQ"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+        self.gps = GPSVirtualClock(assumed_capacity)
+
+    def _stamp(self, slot: int, packet: Packet, now: float) -> float:
+        """Shared WFQ/FQS arrival work: advance GPS, stamp both tags."""
+        slab = self._slab
+        v = self.gps.advance(now)
+        start = max(v, slab.last_finish[slot])
+        rate = packet.rate
+        weight = slab.weight[slot]
+        finish = start + packet.length / (weight if rate is None else rate)
+        packet.start_tag = start
+        packet.finish_tag = finish
+        slab.last_finish[slot] = finish
+        self.gps.on_arrival(packet.flow, weight, finish)
+        return start
+
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        self._stamp(slot, packet, now)
+        return packet.finish_tag  # type: ignore[return-value]  # stamped by _stamp
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
+
+    @property
+    def virtual_time(self) -> float:
+        """Fluid GPS virtual time at the last advance."""
+        return self.gps.v
+
+
+class ArrayFQS(ArrayWFQ):
+    """Fair Queuing based on Start-time on the slab layout."""
+
+    __slots__ = ()
+
+    algorithm = "FQS"
+
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        return self._stamp(slot, packet, now)
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
+
+
+class ArrayWF2Q(ArrayHeadHeapScheduler):
+    """Worst-case Fair Weighted Fair Queueing on the slab layout.
+
+    Mirrors :class:`repro.core.wf2q.WF2Q` including the work-conserving
+    fallback and its uid tie-break; only entry[4] changed meaning (slot
+    int instead of a FlowState), which the eligibility scan never reads.
+    """
+
+    __slots__ = ("gps",)
+
+    algorithm = "WF2Q"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+        self.gps = GPSVirtualClock(assumed_capacity)
+
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        slab = self._slab
+        v = self.gps.advance(now)
+        start = max(v, slab.last_finish[slot])
+        rate = packet.rate
+        weight = slab.weight[slot]
+        finish = start + packet.length / (weight if rate is None else rate)
+        packet.start_tag = start
+        packet.finish_tag = finish
+        slab.last_finish[slot] = finish
+        self.gps.on_arrival(packet.flow, weight, finish)
+        return finish
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
+
+    def _do_dequeue(self, now: float) -> Optional[Packet]:
+        heap = self._head_heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        v = self.gps.advance(now)
+        # Pop ineligible flow heads aside until an eligible one surfaces.
+        shelved: List[SlotHeapEntry] = []
+        chosen: Optional[SlotHeapEntry] = None
+        while heap:
+            entry = heapq.heappop(heap)
+            packet = entry[3]
+            if packet is None:
+                continue
+            if packet.start_tag is not None and packet.start_tag <= v + 1e-12:
+                chosen = entry
+                break
+            shelved.append(entry)
+        if chosen is None:
+            # Work-conserving fallback: smallest start tag, ties by uid.
+            chosen = min(shelved, key=lambda e: (e[3].start_tag, e[2]))
+            for entry in shelved:
+                if entry is not chosen:
+                    heapq.heappush(heap, entry)
+        else:
+            for entry in shelved:
+                heapq.heappush(heap, entry)
+        return self._consume_entry(chosen)
+
+    def peek(self, now: float) -> Optional[Packet]:
+        """Packet the next ``dequeue`` would return (no side effects)."""
+        heap = self._head_heap
+        while heap and heap[0][3] is None:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        v = self.gps.advance(now)
+        live = [e for e in heap if e[3] is not None]
+        eligible = [e for e in live if e[3].start_tag <= v + 1e-12]
+        if eligible:
+            return min(eligible, key=lambda e: (e[3].finish_tag, e[2]))[3]
+        return min(live, key=lambda e: (e[3].start_tag, e[2]))[3]
+
+    @property
+    def virtual_time(self) -> float:
+        """Fluid GPS virtual time at the last advance."""
+        return self.gps.v
+
+
+class ArrayVirtualClock(ArrayHeadHeapScheduler):
+    """Virtual Clock on the slab layout (Zhang 1990).
+
+    The EAT recursion (eq. 37) runs on the slab's ``eat_prev`` /
+    ``eat_service`` columns via :meth:`FlowSlab.eat_on_arrival` — the
+    same max/divide chain as :class:`repro.core.flow.EATTracker`.
+    """
+
+    __slots__ = ()
+
+    algorithm = "VirtualClock"
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        slab = self._slab
+        rate = packet.rate
+        if rate is None:
+            rate = slab.weight[slot]
+        eat = slab.eat_on_arrival(slot, now, packet.length, rate)
+        stamp = eat + packet.length / rate
+        packet.timestamp = stamp
+        # Keep tags populated for uniform trace analysis.
+        packet.start_tag = eat
+        packet.finish_tag = stamp
+        return stamp
+
+    def _head_key(self, packet: Packet) -> float:
+        return packet.timestamp  # type: ignore[return-value]  # stamped on enqueue

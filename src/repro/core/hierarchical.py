@@ -214,6 +214,24 @@ class HierarchicalScheduler(Scheduler):
             node.scheduler.add_flow(flow_id, weight)
         self._flow_to_leaf[flow_id] = node
 
+    def detach_flow(self, flow_id: Hashable) -> None:
+        """Unbind an idle ``flow_id`` from its leaf class.
+
+        The inverse of :meth:`attach_flow`: the flow's state is removed
+        from the leaf scheduler (on the array backend its slab slot
+        returns to the free list), so long-running churn — users joining
+        and leaving the link-sharing tree — keeps per-leaf state bounded
+        by the peak concurrent population. The flow must be fully
+        drained: no queued packets and no packet offered upward.
+        """
+        leaf = self._flow_to_leaf.get(flow_id)
+        if leaf is None:
+            raise SchedulerError(f"flow {flow_id!r} is not attached to any class")
+        if self.flow_backlog(flow_id) > 0:
+            raise SchedulerError(f"cannot detach backlogged flow {flow_id!r}")
+        leaf.scheduler.remove_flow(flow_id)
+        del self._flow_to_leaf[flow_id]
+
     def class_node(self, name: str) -> SchedClass:
         node = self._classes.get(name)
         if node is None:

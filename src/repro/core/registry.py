@@ -33,13 +33,41 @@ inconsistency: :func:`make_scheduler` passes ``auto_register=True`` for
 still require :meth:`add_flow_with_deadline` before a flow's first
 enqueue — the normalization changes when the mistake is reported, not
 the requirement.
+
+Backends
+--------
+The tag disciplines ship two interchangeable implementations:
+
+* ``"object"`` — the reference path: one ``FlowState`` object per flow
+  (:mod:`repro.core.headheap`). Always available, easiest to read and
+  debug, and the implementation the trace-equivalence suite treats as
+  ground truth.
+* ``"array"`` — the struct-of-arrays slab + int-keyed flow-head heap
+  (:mod:`repro.core.slab` / :mod:`repro.core.arrayheap`), byte-identical
+  in service order but sized for 10^5–10^6 flows.
+
+Select per call (``make_scheduler("SFQ", backend="array")``), per
+process (:func:`set_default_backend`), or per environment
+(``REPRO_SCHED_BACKEND=array``). Disciplines without an array variant
+(DRR, FIFO, the EDD family, ...) fall back to their object
+implementation under ``backend="array"`` so a ladder can set one
+backend for every discipline it constructs.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple, Type
+from typing import Any, Dict, List, Optional, Tuple, Type
 
+from repro.core.arrayheap import (
+    ArrayFQS,
+    ArraySCFQ,
+    ArraySFQ,
+    ArrayVirtualClock,
+    ArrayWF2Q,
+    ArrayWFQ,
+)
 from repro.core.base import Scheduler
 from repro.core.drr import DRR, WRR
 from repro.core.delay_edd import DelayEDD
@@ -56,10 +84,15 @@ __all__ = [
     "ParamSpec",
     "SchedulerSpec",
     "available_schedulers",
+    "default_backend",
     "make_scheduler",
     "register_scheduler",
     "scheduler_spec",
+    "set_default_backend",
 ]
+
+#: Backends accepted by :func:`make_scheduler` / :func:`set_default_backend`.
+_BACKENDS = ("object", "array")
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,10 +115,56 @@ class SchedulerSpec:
     #: rate they emulate (constructor takes ``assumed_capacity``).
     needs_capacity: bool = False
     params: Tuple[ParamSpec, ...] = ()
+    #: Slab-backed implementation (``backend="array"``), or None when
+    #: the discipline only has the object path (the factory then falls
+    #: back to ``cls`` so backend selection is uniform across a ladder).
+    array_cls: Optional[Type[Scheduler]] = None
 
     def param_names(self) -> Tuple[str, ...]:
         """Accepted keyword names, in declaration order."""
         return tuple(p.name for p in self.params)
+
+    def backend_cls(self, backend: str) -> Type[Scheduler]:
+        """Implementation class for ``backend`` (with object fallback)."""
+        if backend == "array" and self.array_cls is not None:
+            return self.array_cls
+        return self.cls
+
+
+#: Process-wide default backend; resolved lazily so the environment
+#: variable is honored even when repro is imported before it is set
+#: by a test harness.
+_DEFAULT_BACKEND: Optional[str] = None
+
+
+def _validate_backend(backend: str) -> str:
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown scheduler backend {backend!r}; available: "
+            + ", ".join(_BACKENDS)
+        )
+    return backend
+
+
+def default_backend() -> str:
+    """The backend used when :func:`make_scheduler` gets no ``backend``.
+
+    Resolution order: :func:`set_default_backend` if called, else the
+    ``REPRO_SCHED_BACKEND`` environment variable, else ``"object"``.
+    """
+    if _DEFAULT_BACKEND is not None:
+        return _DEFAULT_BACKEND
+    env = os.environ.get("REPRO_SCHED_BACKEND")
+    if env:
+        return _validate_backend(env.strip().lower())
+    return "object"
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Set the process-wide default backend (``None`` resets to the
+    environment/``"object"`` resolution)."""
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = None if backend is None else _validate_backend(backend)
 
 
 _AUTO_REGISTER = ParamSpec(
@@ -146,7 +225,11 @@ def scheduler_spec(name: str) -> SchedulerSpec:
 
 
 def make_scheduler(
-    name: str, *, capacity: float | None = None, **params: Any
+    name: str,
+    *,
+    capacity: float | None = None,
+    backend: str | None = None,
+    **params: Any,
 ) -> Scheduler:
     """Construct the discipline ``name`` — the public factory.
 
@@ -159,6 +242,12 @@ def make_scheduler(
         Link rate in bits/s. Required by rate-proportional disciplines
         (WFQ, FQS, WF2Q), accepted and ignored by the rest, so a ladder
         can pass it unconditionally.
+    backend:
+        ``"object"`` (per-flow FlowState objects, the reference path) or
+        ``"array"`` (struct-of-arrays slab, byte-identical schedules at
+        million-flow scale). ``None`` uses :func:`default_backend`.
+        Disciplines without an array variant fall back to their object
+        implementation.
     params:
         Discipline-specific keywords, validated against the spec
         (``tie_break``, ``debug_checks``, ``quantum_scale``,
@@ -166,6 +255,9 @@ def make_scheduler(
         ``TypeError`` listing what the discipline accepts.
     """
     spec = scheduler_spec(name)
+    resolved_backend = (
+        default_backend() if backend is None else _validate_backend(backend)
+    )
     kwargs: Dict[str, Any] = dict(params)
     allowed = set(spec.param_names())
     unknown = sorted(set(kwargs) - allowed)
@@ -184,7 +276,7 @@ def make_scheduler(
     # Normalized default (see module docstring): explicit for every
     # discipline, so DelayEDD/JitterEDD behave like the rest.
     kwargs.setdefault("auto_register", True)
-    return spec.cls(**kwargs)
+    return spec.backend_cls(resolved_backend)(**kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +288,7 @@ register_scheduler(
         SFQ,
         "Start-time Fair Queueing (the paper's algorithm)",
         params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+        array_cls=ArraySFQ,
     )
 )
 register_scheduler(
@@ -204,6 +297,7 @@ register_scheduler(
         SCFQ,
         "Self-Clocked Fair Queueing (Golestani 1994)",
         params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+        array_cls=ArraySCFQ,
     )
 )
 register_scheduler(
@@ -213,6 +307,7 @@ register_scheduler(
         "Weighted Fair Queueing / PGPS (finish-tag order over fluid GPS)",
         needs_capacity=True,
         params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+        array_cls=ArrayWFQ,
     )
 )
 register_scheduler(
@@ -222,6 +317,7 @@ register_scheduler(
         "Fair Queueing by Start-time (Greenberg & Madras 1992)",
         needs_capacity=True,
         params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+        array_cls=ArrayFQS,
     )
 )
 register_scheduler(
@@ -231,6 +327,7 @@ register_scheduler(
         "Worst-case Fair WFQ (eligibility-gated finish-tag order)",
         needs_capacity=True,
         params=(_DEBUG_CHECKS,) + _COMMON,
+        array_cls=ArrayWF2Q,
     )
 )
 register_scheduler(
@@ -239,6 +336,7 @@ register_scheduler(
         VirtualClock,
         "Virtual Clock (Zhang 1990)",
         params=(_TIE_BREAK, _DEBUG_CHECKS) + _COMMON,
+        array_cls=ArrayVirtualClock,
     )
 )
 register_scheduler(

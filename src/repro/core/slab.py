@@ -1,0 +1,330 @@
+"""Struct-of-arrays per-flow scheduler state (the million-flow layout).
+
+The object backend keeps one :class:`repro.core.flow.FlowState` per flow
+— a Python object with a dozen boxed attributes. At a few thousand flows
+that is fine; at the paper's headline scale (Section 4 imagines *every
+user* of a large network holding a flow) the object graph dominates:
+~500 bytes and several pointer hops per flow, plus allocator churn every
+time :class:`repro.faults.FlowChurn` cycles a flow.
+
+This module stores the same state as a **slab of parallel arrays**
+indexed by a dense integer *slot*:
+
+* numeric columns live in ``array('d')`` / ``array('q')`` buffers —
+  8 bytes per flow per column, contiguous, no per-flow boxing. Reading
+  a ``'d'`` column yields the exact same Python float the object
+  backend would hold, so tag arithmetic is bit-identical;
+* per-flow FIFOs stay real ``deque`` objects (packets are objects), but
+  they are allocated once per slot and *recycled* with the slot;
+* a LIFO free list recycles slots when flows leave, so long-running
+  churn (join/leave cycles) keeps the slab bounded by the *peak
+  concurrent* flow count instead of growing with total joins.
+
+The slab itself is scheduler-agnostic: :mod:`repro.core.arrayheap`
+builds the int-keyed flow-head heap on top of it, and
+:class:`FlowView` / :class:`SlabFlowMapping` give external consumers
+(fault monitors, experiments, ``link.scheduler.flows[fid].weight``)
+the same attribute surface as :class:`~repro.core.flow.FlowState`
+without resident per-flow objects — views are created on demand and
+read or write the arrays directly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.core.packet import Packet
+
+__all__ = ["FlowSlab", "FlowView", "SlabFlowMapping"]
+
+_NEG_INF = float("-inf")
+
+
+class FlowSlab:
+    """Parallel-array storage for per-flow scheduler state.
+
+    Columns are indexed by *slot* — a dense integer handed out by
+    :meth:`alloc` and recycled by :meth:`release` through a LIFO free
+    list. ``index`` maps external flow ids to slots and preserves
+    registration order (it is a dict), mirroring the object backend's
+    ``flows`` dict iteration order.
+    """
+
+    __slots__ = (
+        "index",
+        "ids",
+        "free",
+        "weight",
+        "inv_weight",
+        "last_finish",
+        "eat_prev",
+        "eat_service",
+        "bits_enqueued",
+        "bits_served",
+        "packets_served",
+        "max_length_seen",
+        "queues",
+        "tie_keys",
+        "entries",
+    )
+
+    def __init__(self) -> None:
+        #: external flow id -> slot (registration order preserved).
+        self.index: Dict[Hashable, int] = {}
+        #: slot -> external flow id (``None`` marks a free slot).
+        self.ids: List[Optional[Hashable]] = []
+        #: recycled slots, reused LIFO by :meth:`alloc`.
+        self.free: List[int] = []
+        # -- numeric columns (8 bytes per flow each) ---------------------
+        self.weight: "array[float]" = array("d")
+        self.inv_weight: "array[float]" = array("d")
+        #: finish tag of the flow's last arrived packet (eq. 4 chain).
+        self.last_finish: "array[float]" = array("d")
+        #: EAT recursion state (eq. 37): previous EAT and l/r of the
+        #: previous packet.
+        self.eat_prev: "array[float]" = array("d")
+        self.eat_service: "array[float]" = array("d")
+        self.bits_enqueued: "array[int]" = array("q")
+        self.bits_served: "array[int]" = array("q")
+        self.packets_served: "array[int]" = array("q")
+        self.max_length_seen: "array[int]" = array("q")
+        # -- object columns ----------------------------------------------
+        #: per-flow FIFO backlog; allocated with the slot, recycled.
+        self.queues: List[Deque[Packet]] = []
+        #: parallel deque of tie-break keys (non-FIFO tie rules only).
+        self.tie_keys: List[Optional[Deque[Tuple[Any, ...]]]] = []
+        #: live flow-head heap entry for the slot, or ``None``.
+        self.entries: List[Optional[List[Any]]] = []
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+    def alloc(self, flow_id: Hashable, weight: float) -> int:
+        """Register ``flow_id``; return its slot (recycling freed ones)."""
+        if weight <= 0:
+            raise ValueError(f"flow weight must be positive, got {weight}")
+        if flow_id in self.index:
+            raise ValueError(f"flow {flow_id!r} already registered")
+        w = float(weight)
+        if self.free:
+            slot = self.free.pop()
+            self.ids[slot] = flow_id
+            self.weight[slot] = w
+            self.inv_weight[slot] = 1.0 / w
+            self.last_finish[slot] = 0.0
+            self.eat_prev[slot] = _NEG_INF
+            self.eat_service[slot] = 0.0
+            self.bits_enqueued[slot] = 0
+            self.bits_served[slot] = 0
+            self.packets_served[slot] = 0
+            self.max_length_seen[slot] = 0
+            # queue was drained before release; tie_keys/entries cleared.
+        else:
+            slot = len(self.ids)
+            self.ids.append(flow_id)
+            self.weight.append(w)
+            self.inv_weight.append(1.0 / w)
+            self.last_finish.append(0.0)
+            self.eat_prev.append(_NEG_INF)
+            self.eat_service.append(0.0)
+            self.bits_enqueued.append(0)
+            self.bits_served.append(0)
+            self.packets_served.append(0)
+            self.max_length_seen.append(0)
+            self.queues.append(deque())
+            self.tie_keys.append(None)
+            self.entries.append(None)
+        self.index[flow_id] = slot
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Return ``slot`` to the free list (flow must be idle)."""
+        flow_id = self.ids[slot]
+        if flow_id is None:
+            raise ValueError(f"slot {slot} is already free")
+        if self.queues[slot]:
+            raise ValueError(f"cannot release backlogged slot {slot}")
+        del self.index[flow_id]
+        self.ids[slot] = None
+        keys = self.tie_keys[slot]
+        if keys is not None:
+            keys.clear()
+        self.entries[slot] = None
+        self.free.append(slot)
+
+    def slot_of(self, flow_id: Hashable) -> Optional[int]:
+        return self.index.get(flow_id)
+
+    # ------------------------------------------------------------------
+    # Per-slot operations
+    # ------------------------------------------------------------------
+    def set_weight(self, slot: int, weight: float) -> None:
+        value = float(weight)
+        if value <= 0:
+            raise ValueError(f"flow weight must be positive, got {value}")
+        self.weight[slot] = value
+        self.inv_weight[slot] = 1.0 / value
+
+    def eat_on_arrival(self, slot: int, arrival: float, length: int, rate: float) -> float:
+        """Incremental expected-arrival-time step (eq. 37) for ``slot``."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        eat = max(arrival, self.eat_prev[slot] + self.eat_service[slot])
+        self.eat_prev[slot] = eat
+        self.eat_service[slot] = length / rate
+        return eat
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of live (registered) flows."""
+        return len(self.index)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots, live + free — the slab's high-water mark."""
+        return len(self.ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowSlab(live={len(self.index)}, capacity={len(self.ids)}, "
+            f"free={len(self.free)})"
+        )
+
+
+class FlowView:
+    """On-demand :class:`~repro.core.flow.FlowState`-compatible proxy.
+
+    Reads and writes go straight to the slab columns; no per-flow state
+    lives on the view itself, so views can be created, dropped and
+    recreated freely. External consumers (monitors, experiments) use
+    the same attribute names as ``FlowState``.
+    """
+
+    __slots__ = ("_slab", "_slot")
+
+    def __init__(self, slab: FlowSlab, slot: int) -> None:
+        self._slab = slab
+        self._slot = slot
+
+    @property
+    def slot(self) -> int:
+        """The dense integer slot backing this view."""
+        return self._slot
+
+    @property
+    def flow_id(self) -> Hashable:
+        return self._slab.ids[self._slot]
+
+    @property
+    def weight(self) -> float:
+        return self._slab.weight[self._slot]
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        self._slab.set_weight(self._slot, value)
+
+    @property
+    def inv_weight(self) -> float:
+        return self._slab.inv_weight[self._slot]
+
+    @property
+    def last_finish(self) -> float:
+        return self._slab.last_finish[self._slot]
+
+    @last_finish.setter
+    def last_finish(self, value: float) -> None:
+        self._slab.last_finish[self._slot] = value
+
+    @property
+    def queue(self) -> Deque[Packet]:
+        return self._slab.queues[self._slot]
+
+    @property
+    def backlogged(self) -> bool:
+        return bool(self._slab.queues[self._slot])
+
+    @property
+    def backlog_packets(self) -> int:
+        return len(self._slab.queues[self._slot])
+
+    @property
+    def backlog_bits(self) -> int:
+        return sum(p.length for p in self._slab.queues[self._slot])
+
+    @property
+    def bits_enqueued(self) -> int:
+        return self._slab.bits_enqueued[self._slot]
+
+    @property
+    def bits_served(self) -> int:
+        return self._slab.bits_served[self._slot]
+
+    @property
+    def packets_served(self) -> int:
+        return self._slab.packets_served[self._slot]
+
+    @property
+    def max_length_seen(self) -> int:
+        return self._slab.max_length_seen[self._slot]
+
+    def head(self) -> Optional[Packet]:
+        queue = self._slab.queues[self._slot]
+        return queue[0] if queue else None
+
+    def packet_rate(self, packet: Packet) -> float:
+        """Rate assigned to ``packet``: its own rate or the flow weight."""
+        rate = packet.rate
+        return self._slab.weight[self._slot] if rate is None else rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowView({self.flow_id!r}, slot={self._slot}, "
+            f"w={self.weight:.9g}, backlog={self.backlog_packets}p)"
+        )
+
+
+class SlabFlowMapping(Mapping[Hashable, FlowView]):
+    """Read-only ``flows``-style mapping over a :class:`FlowSlab`.
+
+    Iteration follows flow registration order (the slab's ``index``
+    dict), matching the object backend's ``Dict[Hashable, FlowState]``
+    semantics so code like ``for fid in scheduler.flows`` behaves
+    identically on both backends.
+    """
+
+    __slots__ = ("_slab",)
+
+    def __init__(self, slab: FlowSlab) -> None:
+        self._slab = slab
+
+    def __getitem__(self, flow_id: Hashable) -> FlowView:
+        slot = self._slab.index.get(flow_id)
+        if slot is None:
+            raise KeyError(flow_id)
+        return FlowView(self._slab, slot)
+
+    def __contains__(self, flow_id: object) -> bool:
+        return flow_id in self._slab.index
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._slab.index)
+
+    def __len__(self) -> int:
+        return len(self._slab.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlabFlowMapping({len(self)} flows)"

@@ -55,6 +55,7 @@ REGISTRY: Dict[str, str] = {
     "vbr": "repro.experiments.vbr_rates:run_vbr_rates",
     "interop": "repro.experiments.interop:run_interop",
     "stress": "repro.experiments.stress:run_stress",
+    "scale": "repro.experiments.scale:run_scale",
     "faults": "repro.experiments.fault_tolerance:run_fault_tolerance",
     "chaos": "repro.chaos.experiment:run_chaos_case",
     "robust-figure1": "repro.experiments.robustness:run_figure1_robustness",
@@ -83,6 +84,8 @@ DESCRIPTIONS: Dict[str, str] = {
     "vbr": "Section 2.3: generalized SFQ with per-packet rates",
     "interop": "Section 2.4: heterogeneous schedulers interoperate",
     "stress": "Theorem 1 under Pareto traffic + Gilbert-Elliott link",
+    "scale": "Hierarchical link-sharing at 10^3..10^6 flows with churn "
+             "(array backend, vectorized arrivals)",
     "faults": "Fault tolerance: link outage + flow churn, invariant monitors",
     "chaos": "Chaos case: randomized fault schedule vs one scheduler, "
              "invariant monitors on",
@@ -96,7 +99,7 @@ DESCRIPTIONS: Dict[str, str] = {
 #: deterministic and run exactly once per parameter set.
 ACCEPTS_SEED = frozenset(
     {"table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress",
-     "faults", "chaos"}
+     "faults", "chaos", "scale"}
 )
 
 #: Experiments whose run function accepts a ``duration=`` keyword.

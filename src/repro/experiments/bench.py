@@ -36,6 +36,7 @@ __all__ = [
     "run_bench",
     "bench_engine",
     "bench_schedulers",
+    "bench_scale",
     "bench_metrics_overhead",
 ]
 
@@ -166,10 +167,10 @@ def bench_pipeline(packets_per_flow: int, repeats: int) -> dict:
 
     def fast_run() -> float:
         # Optimized configuration with tracing disabled (the opt-in
-        # zero-cost path): flow-head-heap SFQ + engine fast loop.
+        # zero-cost path): slab-backed SFQ + engine fast loop.
         return _pipeline_seconds(
             Simulator,
-            lambda: make_scheduler("SFQ", auto_register=False),
+            lambda: make_scheduler("SFQ", auto_register=False, backend="array"),
             NullTracer(),
             packets_per_flow,
         )
@@ -202,9 +203,11 @@ def bench_engine(smoke: bool = False, repeats: int = 5) -> dict:
 # Schedulers: per-packet cost vs per-flow backlog depth
 # ----------------------------------------------------------------------
 _OPTIMIZED = {
-    "SFQ": lambda: make_scheduler("SFQ", auto_register=False),
-    "SCFQ": lambda: make_scheduler("SCFQ", auto_register=False),
-    "VirtualClock": lambda: make_scheduler("VirtualClock", auto_register=False),
+    "SFQ": lambda: make_scheduler("SFQ", auto_register=False, backend="array"),
+    "SCFQ": lambda: make_scheduler("SCFQ", auto_register=False, backend="array"),
+    "VirtualClock": lambda: make_scheduler(
+        "VirtualClock", auto_register=False, backend="array"
+    ),
 }
 
 
@@ -312,6 +315,137 @@ def bench_schedulers(smoke: bool = False, repeats: int = 5) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Scale: per-packet cost vs flow count (the BENCH_scale.json payload)
+# ----------------------------------------------------------------------
+#: Flow counts for the scale sweep; the middle point carries the
+#: ``optimized_`` key prefix and is therefore the one
+#: ``scripts/bench_compare.py`` gates (the 10^3/10^5 points exist to
+#: demonstrate flatness, and their tails are noisier).
+SCALE_FLOWS = (1_000, 10_000, 100_000)
+SCALE_GATED_FLOWS = 10_000
+SCALE_DISCIPLINES = ("SFQ", "SCFQ", "WFQ")
+
+
+def _scale_cycle_seconds(name: str, n_flows: int, cycles: int) -> float:
+    """Seconds for ``cycles`` dequeue+complete+enqueue rounds with
+    ``n_flows`` flows standing at one queued packet each — the heap
+    holds ``n_flows`` head entries, so per-cycle cost is the O(log F)
+    the paper claims, measured directly."""
+    kwargs = {}
+    if name in ("WFQ", "FQS", "WF2Q"):  # rate-proportional: need link rate
+        kwargs["capacity"] = 1_000_000.0
+    sched = make_scheduler(name, auto_register=False, backend="array", **kwargs)
+    for i in range(n_flows):
+        sched.add_flow(i, 1000.0 + (i % 64))
+    for i in range(n_flows):
+        sched.enqueue(Packet(i, 800, seqno=0), 0.0)
+    seq = 1
+    now = 0.0
+    t0 = time.perf_counter()
+    for _ in range(cycles):
+        now += 1e-3
+        packet = sched.dequeue(now)
+        sched.on_service_complete(packet, now)
+        sched.enqueue(Packet(packet.flow, 800, seqno=seq), now)
+        seq += 1
+    return time.perf_counter() - t0
+
+
+def bench_scale(
+    smoke: bool = False,
+    repeats: int = 5,
+    flows: Optional[List[int]] = None,
+) -> dict:
+    """The ``BENCH_scale.json`` payload.
+
+    Two sections:
+
+    * ``per_packet_cost`` — flat-scheduler per-packet cost vs flow count
+      for SFQ/SCFQ/WFQ on the array backend, with the per-discipline
+      ``flat_ratio`` (largest vs smallest sweep point; the O(log F)
+      claim predicts <= ~1.5x across 10^3 -> 10^5).
+    * ``hierarchical_stress`` — the ``scale`` experiment (link-sharing
+      tree, 1.2x overload, flow churn, vectorized fleet arrivals),
+      including its departure digest so re-baselining also re-verifies
+      the schedule. Keys here deliberately avoid the ``optimized_``
+      prefix: macro wall-clock is too noisy to gate; the regression
+      gate rides on the ``SCALE_GATED_FLOWS`` micro point.
+    """
+    from repro.experiments.scale import run_scale
+
+    sweep = list(flows) if flows else (
+        [100, 1_000] if smoke else list(SCALE_FLOWS)
+    )
+    cycles = 500 if smoke else 20_000
+    per_packet: Dict[str, dict] = {}
+    for name in SCALE_DISCIPLINES:
+        entry: Dict[str, object] = {}
+        costs: Dict[int, float] = {}
+        for n_flows in sweep:
+            per_cycle = _best_of(
+                lambda n=n_flows: _scale_cycle_seconds(name, n, cycles),
+                repeats,
+            ) / cycles
+            costs[n_flows] = per_cycle
+            ns = round(per_cycle * 1e9, 1)
+            key = (
+                "optimized_ns_per_packet"
+                if n_flows == SCALE_GATED_FLOWS
+                else "ns_per_packet"
+            )
+            entry[f"flows={n_flows}"] = {key: ns}
+        lo, hi = min(costs), max(costs)
+        if hi > lo:
+            entry["flat_ratio"] = round(costs[hi] / costs[lo], 3)
+        per_packet[name] = entry
+
+    # Full mode extends the stress sweep to the 10^6-flow point (~45 s):
+    # the committed JSON is the proof the paper's "a flow per user"
+    # population actually completes, churn included.
+    stress_sweep = list(flows) if flows else (
+        [2_000] if smoke else list(SCALE_FLOWS) + [1_000_000]
+    )
+    stress = run_scale(flows=stress_sweep)
+    stress_by_flows = {p["flows"]: p for p in stress.data["points"]}
+    stress_ratio_135 = (
+        round(
+            float(stress_by_flows[100_000]["ns_per_packet"])
+            / float(stress_by_flows[1_000]["ns_per_packet"]),
+            3,
+        )
+        if {1_000, 100_000} <= set(stress_by_flows)
+        else None
+    )
+    return {
+        "benchmark": "scale",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "repeats": repeats,
+        "flows": sweep,
+        "cycles": cycles,
+        "per_packet_cost": per_packet,
+        "hierarchical_stress": {
+            "points": [
+                {
+                    "flows": p["flows"],
+                    "packets": p["packets"],
+                    "events": p["events"],
+                    "ns_per_packet": round(float(p["ns_per_packet"]), 1),
+                    "digest": p["digest"],
+                    "churn_cycles": p["churn_detached"],
+                }
+                for p in stress.data["points"]
+            ],
+            "flat_ratio": round(float(stress.data["flat_ratio"]), 3)
+            if "flat_ratio" in stress.data else None,
+            # The acceptance ratio: 10^5- vs 10^3-flow per-packet cost
+            # (the 10^6 point is completion proof, not part of it).
+            "flat_ratio_1e3_to_1e5": stress_ratio_135,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Metrics: telemetry cost, disabled and enabled
 # ----------------------------------------------------------------------
 def bench_metrics_overhead(packets_per_flow: int, repeats: int) -> dict:
@@ -363,13 +497,20 @@ def run_bench(
     smoke: bool = False,
     output_dir: Optional[str] = None,
     repeats: int = 5,
+    flows: Optional[List[int]] = None,
 ) -> Dict[str, dict]:
-    """Run both benchmark families; write ``BENCH_*.json``; return them."""
+    """Run all benchmark families; write ``BENCH_*.json``; return them.
+
+    ``flows`` overrides the flow-count sweep of the scale family
+    (``python -m repro bench --flows 1000 10000``); the engine and
+    scheduler families ignore it.
+    """
     out_dir = Path(output_dir) if output_dir is not None else Path.cwd()
     out_dir.mkdir(parents=True, exist_ok=True)
     results = {
         "BENCH_engine.json": bench_engine(smoke=smoke, repeats=repeats),
         "BENCH_schedulers.json": bench_schedulers(smoke=smoke, repeats=repeats),
+        "BENCH_scale.json": bench_scale(smoke=smoke, repeats=repeats, flows=flows),
     }
     for filename, payload in results.items():
         path = out_dir / filename

@@ -8,7 +8,7 @@ experiment in the reproduction runs: a heapq-based event loop
 (:mod:`repro.simulation.tracing`).
 """
 
-from repro.simulation.engine import Simulator
+from repro.simulation.engine import ArrivalStream, Simulator
 from repro.simulation.events import Event, EventCancelled
 from repro.simulation.process import Process, Until, Waiter, spawn
 from repro.simulation.random import RandomStreams, derive_seed
@@ -22,6 +22,7 @@ from repro.simulation.tracing import (
 
 __all__ = [
     "Simulator",
+    "ArrivalStream",
     "Event",
     "EventCancelled",
     "RandomStreams",

@@ -34,15 +34,47 @@ the payload slots):
 run bounds into locals and inlines the cancelled-entry skip, which is
 where the bulk of the measured dispatch speedup in ``BENCH_engine.json``
 comes from.
+
+Arrival streams (batch admission)
+---------------------------------
+Scheduling one heap tuple per generated packet is the other large cost
+at scale: a 10^6-flow workload pushes millions of timer tuples through
+the heap just to deliver precomputed arrivals. An **arrival stream**
+(:class:`ArrivalStream`) bypasses the heap for that case: it exposes the
+time of its next pending arrival (``next_time``) and a ``fire()`` that
+delivers exactly one arrival and advances. The run loop merges attached
+streams with the heap — a stream wins ties against heap entries (an
+arrival *at* t happens before timers at t, matching the order
+``call_at`` arrivals would have had when scheduled first) — so sources
+can hand the engine whole precomputed arrival arrays
+(:mod:`repro.traffic.batch`) at O(1) heap cost instead of O(N log N).
+Stream firings count toward ``events_processed`` and the ``max_events``
+budget exactly like heap events. Attach before calling :meth:`run`;
+streams attached while the loop is running take effect on the next
+:meth:`run`/:meth:`step`.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, List, Optional, Tuple, cast
+from typing import Any, Callable, List, Optional, Protocol, Tuple, cast
 
 from repro.simulation.events import Event, _sequence
+
+
+class ArrivalStream(Protocol):
+    """Protocol for batch arrival sources merged into the run loop.
+
+    ``next_time`` is the absolute time of the next pending arrival, or
+    ``math.inf`` when the stream is exhausted (the loop then detaches
+    it). ``fire()`` delivers exactly one arrival (the one at
+    ``next_time``) and advances ``next_time``.
+    """
+
+    next_time: float
+
+    def fire(self) -> None: ...
 
 
 class SimulationError(Exception):
@@ -55,6 +87,7 @@ class Simulator:
     __slots__ = (
         "_now",
         "_heap",
+        "_streams",
         "_running",
         "_stopped",
         "_truncated",
@@ -64,6 +97,7 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[Any, ...]] = []
+        self._streams: List[ArrivalStream] = []
         self._running = False
         self._stopped = False
         self._truncated = False
@@ -168,6 +202,23 @@ class Simulator:
             raise SimulationError(f"negative delay: {delay}")
         self.call_at(self._now + delay, callback, *args, priority=priority)
 
+    def attach_stream(self, stream: ArrivalStream) -> None:
+        """Merge an :class:`ArrivalStream` into the event loop.
+
+        The stream delivers precomputed arrivals without a heap tuple
+        per packet. An exhausted stream (``next_time == math.inf``) is
+        detached automatically by the loop. Attaching while the loop is
+        running takes effect on the next :meth:`run`/:meth:`step`.
+        """
+        if math.isnan(stream.next_time):
+            raise SimulationError("arrival stream next_time is NaN")
+        if stream.next_time < self._now:
+            raise SimulationError(
+                f"arrival stream starts in the past: "
+                f"{stream.next_time} < now={self._now}"
+            )
+        self._streams.append(stream)
+
     # ------------------------------------------------------------------
     # Run controls
     # ------------------------------------------------------------------
@@ -175,14 +226,51 @@ class Simulator:
         """Stop the loop after the currently firing event returns."""
         self._stopped = True
 
+    def _min_stream(self) -> "Tuple[float, Optional[ArrivalStream]]":
+        """Earliest attached stream, pruning exhausted ones."""
+        streams = self._streams
+        if not streams:
+            return math.inf, None
+        best_t = math.inf
+        best: Optional[ArrivalStream] = None
+        exhausted = False
+        for s in streams:
+            t = s.next_time
+            if t == math.inf:
+                exhausted = True
+            elif t < best_t:
+                best_t = t
+                best = s
+        if exhausted:
+            self._streams = [s for s in streams if s.next_time != math.inf]
+        return best_t, best
+
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or None if the heap is empty."""
+        """Time of the next pending event, or None when nothing is pending.
+
+        Considers both the timer heap and attached arrival streams.
+        """
         self._drop_cancelled()
-        return cast(float, self._heap[0][0]) if self._heap else None
+        heap_t = cast(float, self._heap[0][0]) if self._heap else math.inf
+        stream_t, _ = self._min_stream()
+        nxt = min(heap_t, stream_t)
+        return None if nxt == math.inf else nxt
 
     def step(self) -> bool:
-        """Fire the single next event. Returns False when none remain."""
+        """Fire the single next event (heap timer or stream arrival).
+
+        Returns False when none remain. A stream arrival wins a tie
+        against a heap timer at the same instant (same rule as
+        :meth:`run`).
+        """
         self._drop_cancelled()
+        heap_t = cast(float, self._heap[0][0]) if self._heap else math.inf
+        stream_t, stream = self._min_stream()
+        if stream is not None and stream_t <= heap_t:
+            self._now = stream_t
+            self._events_processed += 1
+            stream.fire()
+            return True
         if not self._heap:
             return False
         entry = heapq.heappop(self._heap)
@@ -222,39 +310,92 @@ class Simulator:
         budget = math.inf if max_events is None else max_events
         fired = 0
         try:
-            while heap and not self._stopped:
-                entry = heap[0]
-                event = entry[3]
-                if event is not None and event.cancelled:
+            if self._streams:
+                fired = self._run_merged(limit, budget)
+            else:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event is not None and event.cancelled:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if time > limit:
+                        break
+                    heappop(heap)
+                    self._now = time
+                    self._events_processed += 1
+                    if event is None:
+                        entry[4](*entry[5])
+                    else:
+                        event._fire()
+                    fired += 1
+                    if fired >= budget:
+                        while heap:
+                            head = heap[0]
+                            ev = head[3]
+                            if ev is not None and ev.cancelled:
+                                heappop(heap)
+                                continue
+                            if head[0] <= limit:
+                                self._truncated = True
+                            break
+                        break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def _run_merged(self, limit: float, budget: float) -> int:
+        """Run loop merging attached arrival streams with the timer heap.
+
+        Kept out of :meth:`run`'s pure-heap fast path so simulations
+        without streams pay nothing for the feature. A stream arrival
+        wins ties against heap timers at the same instant.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        fired = 0
+        while not self._stopped:
+            # Surface the live heap head (skip cancelled in place).
+            while heap:
+                head = heap[0]
+                ev = head[3]
+                if ev is not None and ev.cancelled:
                     heappop(heap)
                     continue
+                break
+            heap_t = heap[0][0] if heap else math.inf
+            stream_t, stream = self._min_stream()
+            if stream is not None and stream_t <= heap_t:
+                if stream_t > limit:
+                    break
+                self._now = stream_t
+                self._events_processed += 1
+                stream.fire()
+            elif heap:
+                entry = heap[0]
                 time = entry[0]
                 if time > limit:
                     break
                 heappop(heap)
                 self._now = time
                 self._events_processed += 1
+                event = entry[3]
                 if event is None:
                     entry[4](*entry[5])
                 else:
                     event._fire()
-                fired += 1
-                if fired >= budget:
-                    while heap:
-                        head = heap[0]
-                        ev = head[3]
-                        if ev is not None and ev.cancelled:
-                            heappop(heap)
-                            continue
-                        if head[0] <= limit:
-                            self._truncated = True
-                        break
-                    break
-        finally:
-            self._running = False
-        if until is not None and self._now < until and not self._stopped:
-            self._now = until
-        return self._now
+            else:
+                break
+            fired += 1
+            if fired >= budget:
+                nxt = self.peek()
+                if nxt is not None and nxt <= limit:
+                    self._truncated = True
+                break
+        return fired
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
         """Run for ``duration`` simulated seconds from the current time."""

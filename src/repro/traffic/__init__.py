@@ -1,6 +1,16 @@
 """Traffic sources: CBR/bulk, Poisson, on-off, MPEG VBR, traces, shaping."""
 
 from repro.traffic.base import Ingress, Source
+from repro.traffic.batch import (
+    ArrivalTimeline,
+    FleetTimeline,
+    FlowArrivals,
+    cbr_fleet_times,
+    cbr_times,
+    merge_arrivals,
+    poisson_times,
+    timeline_from_specs,
+)
 from repro.traffic.cbr import BulkSource, CBRSource, PacedWindowSource
 from repro.traffic.leaky_bucket import LeakyBucketShaper, conforms
 from repro.traffic.pareto import ParetoOnOffSource, pareto_sample
@@ -27,4 +37,13 @@ __all__ = [
     "record_source",
     "LeakyBucketShaper",
     "conforms",
+    # vectorized batch arrival API (repro.traffic.batch)
+    "ArrivalTimeline",
+    "FleetTimeline",
+    "FlowArrivals",
+    "cbr_times",
+    "cbr_fleet_times",
+    "poisson_times",
+    "merge_arrivals",
+    "timeline_from_specs",
 ]

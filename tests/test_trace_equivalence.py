@@ -9,8 +9,13 @@ implementation's, packet for packet, bit for bit.
 This suite drives the optimized scheduler and its frozen seed copy
 (``tests/reference/legacy_cores.py``) through the *same* deterministic
 workload on the real ``Simulator`` + ``Link`` stack and compares the
-full trace record streams for exact equality. Workloads are shaped
-after the paper's experiments:
+full trace record streams for exact equality. The optimized side is
+constructed through ``make_scheduler`` and parametrized over **both
+backends** — ``"object"`` (per-flow FlowState, ``repro.core.headheap``)
+and ``"array"`` (struct-of-arrays slab + int-keyed heap,
+``repro.core.arrayheap``) — so the slab layout is held to the same
+byte-identical standard as the original head-heap rewrite. Workloads
+are shaped after the paper's experiments:
 
 * ``table1``   — two flows, the second joining mid-busy-period
   (Table 1's f/m throughput split);
@@ -35,13 +40,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.delay_edd import DelayEDD
 from repro.core.packet import Packet
-from repro.core.scfq import SCFQ
-from repro.core.sfq import SFQ
-from repro.core.virtual_clock import VirtualClock
-from repro.core.wf2q import WF2Q
-from repro.core.wfq import FQS, WFQ
+from repro.core.registry import make_scheduler
 from repro.servers import ConstantCapacity
 from repro.servers.link import Link
 from repro.simulation.engine import Simulator
@@ -177,22 +177,36 @@ WORKLOADS = {
 
 
 # ----------------------------------------------------------------------
-# Scheduler pairs (optimized factory, legacy factory)
+# Scheduler pairs (optimized factory by backend, legacy factory)
 # ----------------------------------------------------------------------
 def _edd_setup(sched, flow_ids):
     for fid in flow_ids:
         sched.add_flow_with_deadline(fid, WEIGHTS[fid], 2.0)
 
 
+def _opt(name, **kwargs):
+    """Optimized-side factory: registry construction, backend-selectable."""
+
+    def factory(backend):
+        return make_scheduler(name, backend=backend, **kwargs)
+
+    return factory
+
+
+# DelayEDD has no array variant; under backend="array" the registry
+# falls back to the object implementation, which must (trivially) stay
+# trace-identical — the fallback path is part of what this suite gates.
 SCHEDULERS = {
-    "SFQ": (lambda: SFQ(), lambda: LegacySFQ(), None),
-    "SCFQ": (lambda: SCFQ(), lambda: LegacySCFQ(), None),
-    "WFQ": (lambda: WFQ(CAPACITY), lambda: LegacyWFQ(CAPACITY), None),
-    "FQS": (lambda: FQS(CAPACITY), lambda: LegacyFQS(CAPACITY), None),
-    "WF2Q": (lambda: WF2Q(CAPACITY), lambda: LegacyWF2Q(CAPACITY), None),
-    "VirtualClock": (lambda: VirtualClock(), lambda: LegacyVirtualClock(), None),
-    "DelayEDD": (lambda: DelayEDD(), lambda: LegacyDelayEDD(), _edd_setup),
+    "SFQ": (_opt("SFQ"), lambda: LegacySFQ(), None),
+    "SCFQ": (_opt("SCFQ"), lambda: LegacySCFQ(), None),
+    "WFQ": (_opt("WFQ", capacity=CAPACITY), lambda: LegacyWFQ(CAPACITY), None),
+    "FQS": (_opt("FQS", capacity=CAPACITY), lambda: LegacyFQS(CAPACITY), None),
+    "WF2Q": (_opt("WF2Q", capacity=CAPACITY), lambda: LegacyWF2Q(CAPACITY), None),
+    "VirtualClock": (_opt("VirtualClock"), lambda: LegacyVirtualClock(), None),
+    "DelayEDD": (_opt("DelayEDD"), lambda: LegacyDelayEDD(), _edd_setup),
 }
+
+BACKENDS = ("object", "array")
 
 #: Schedulers supporting discard_tail (the others raise NotImplementedError).
 DISCARD_CAPABLE = {"SFQ", "SCFQ"}
@@ -245,17 +259,18 @@ def _combos():
             yield sched_name, wl_name
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("sched_name,wl_name", list(_combos()))
-def test_trace_equivalence(sched_name, wl_name):
+def test_trace_equivalence(sched_name, wl_name, backend):
     new_factory, legacy_factory, setup = SCHEDULERS[sched_name]
     # DelayEDD churn: auto-registered flows need deadlines; skip handled
     # in _combos. Everything else must match record-for-record.
-    optimized = run_trace(new_factory, setup, wl_name)
+    optimized = run_trace(lambda: new_factory(backend), setup, wl_name)
     legacy = run_trace(legacy_factory, setup, wl_name)
     assert len(optimized) == len(legacy)
     for i, (new_rec, old_rec) in enumerate(zip(optimized, legacy)):
         assert new_rec == old_rec, (
-            f"{sched_name}/{wl_name}: record {i} diverged:\n"
+            f"{sched_name}[{backend}]/{wl_name}: record {i} diverged:\n"
             f"  optimized: {new_rec}\n  seed:      {old_rec}"
         )
 
@@ -272,7 +287,7 @@ def test_discard_workload_actually_drops():
     # does not cover the discard_tail path it claims to.
     flow_ids, arrivals, link_kwargs = WORKLOADS["discard"]()
     sim = Simulator()
-    sched = SFQ()
+    sched = make_scheduler("SFQ")
     for fid in flow_ids:
         sched.add_flow(fid, WEIGHTS[fid])
     link = Link(sim, sched, ConstantCapacity(CAPACITY), tracer=Tracer("d"), **link_kwargs)
