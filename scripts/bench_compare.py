@@ -10,7 +10,9 @@ Usage (from the repo root)::
 Runs the full microbenchmark suite (``python -m repro bench``) into a
 scratch directory, then diffs every *optimized* wall-clock metric
 against the committed baseline at the repo root. Exits non-zero if any
-metric regressed by more than ``--threshold`` (default 0.30 = 30%).
+metric regressed by more than ``--threshold`` (default 0.30 = 30%), or
+if a baseline metric is missing from the fresh run entirely (a renamed
+or dropped bench section must re-baseline, not silently pass).
 
 Only the optimized implementation is gated — the frozen seed numbers
 are context, not a contract. Improvements (negative regressions) are
@@ -72,6 +74,11 @@ def compare(
     """Return [(metric, baseline, fresh, regression_fraction), ...] for
     metrics regressed beyond ``threshold``.
 
+    A baseline metric *absent* from the fresh run (a renamed or dropped
+    bench section) is itself a failure — reported as ``MISSING`` with
+    ``fresh``/``regression`` of ``None`` — otherwise a rename would
+    silently shrink the gate's coverage to nothing.
+
     Latency metrics whose baseline *and* fresh values are both below
     ``floor_ns`` are reported but exempt from failing — sub-millisecond
     timings on shared machines regress by noise alone. Throughput
@@ -81,8 +88,15 @@ def compare(
     failures = []
     for path, base_value in _walk_metrics(baseline):
         new_value = fresh_metrics.get(path)
-        if new_value is None or base_value <= 0:
-            continue  # layout drift or degenerate baseline: not a regression
+        if new_value is None:
+            print(
+                f"{'MISSING':>9}  {path}: present in baseline, absent from "
+                "the fresh run (renamed or dropped bench section?)"
+            )
+            failures.append((path, base_value, None, None))
+            continue
+        if base_value <= 0:
+            continue  # degenerate baseline: not comparable
         is_throughput = path.endswith("_pkts_per_sec")
         if is_throughput:
             slowdown = base_value / new_value  # throughput: lower is worse
@@ -165,11 +179,14 @@ def main(argv=None) -> int:
         )
 
     if all_failures:
-        print(f"\n{len(all_failures)} metric(s) regressed beyond "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\n{len(all_failures)} metric(s) regressed or missing:",
+              file=sys.stderr)
         for path, base_value, new_value, regression in all_failures:
-            print(f"  {path}: {base_value:g} -> {new_value:g} "
-                  f"({regression:+.1%})", file=sys.stderr)
+            if new_value is None:
+                print(f"  {path}: {base_value:g} -> MISSING", file=sys.stderr)
+            else:
+                print(f"  {path}: {base_value:g} -> {new_value:g} "
+                      f"({regression:+.1%})", file=sys.stderr)
         return 1
     print("\nno regressions beyond threshold")
     return 0

@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="flow-count sweep for the scale family / BENCH_scale.json "
              "(default: 1000 10000 100000; e.g. --flows 1000 1000000)",
     )
+    bench.add_argument(
+        "--profile", type=int, default=None, metavar="N",
+        help="instead of benchmarking, cProfile the pipeline section and "
+             "print/dump the top-N hot functions under results/profile/",
+    )
     report = sub.add_parser(
         "report", help="run the full evaluation and write a Markdown report"
     )
@@ -454,6 +459,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:<{width}}  {DESCRIPTIONS[name]}")
         return 0
     if args.command == "bench":
+        if args.profile is not None:
+            from repro.experiments.bench import profile_pipeline
+
+            profile_pipeline(
+                top_n=args.profile,
+                output_dir=args.output_dir or "results/profile",
+            )
+            return 0
         from repro.experiments.bench import run_bench
 
         run_bench(

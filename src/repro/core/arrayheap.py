@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.base import Scheduler, SchedulerError, TieBreak
@@ -46,6 +47,7 @@ from repro.core.gps import GPSVirtualClock
 from repro.core.headheap import TieBreakRule
 from repro.core.packet import Packet
 from repro.core.slab import FlowSlab, FlowView, SlabFlowMapping
+from repro.core.tagmath import start_finish
 
 #: 5-slot mutable heap entry ``[key, tie_key, uid, packet, slot]``;
 #: ``entry[3] is None`` marks lazy invalidation (same protocol as the
@@ -154,7 +156,9 @@ class ArrayHeadHeapScheduler(Scheduler):
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet, now: float) -> None:
         """Accept ``packet`` arriving at time ``now``."""
-        slot = self._slot(packet.flow)
+        slot = self._slab.index.get(packet.flow)
+        if slot is None:
+            slot = self._slot(packet.flow)
         packet.arrival = now
         length = packet.length
         self._backlog_packets += 1
@@ -178,38 +182,51 @@ class ArrayHeadHeapScheduler(Scheduler):
             # The flow just became backlogged: its head enters the heap.
             entry: SlotHeapEntry = [key, tie, packet.uid, packet, slot]
             slab.entries[slot] = entry
-            heapq.heappush(self._head_heap, entry)
+            _heappush(self._head_heap, entry)
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        """Select the next packet for transmission; ``None`` when empty."""
-        packet = self._do_dequeue(now)
-        if packet is not None:
-            length = packet.length
-            self._backlog_packets -= 1
-            self._backlog_bits -= length
-            slab = self._slab
-            slot = slab.index.get(packet.flow)
-            if slot is not None:
-                slab.bits_served[slot] += length
-                slab.packets_served[slot] += 1
-            self.in_service = packet
-        return packet
+        """Select the next packet for transmission; ``None`` when empty.
+
+        The generic pop-min path is inlined here (one frame instead of
+        dispatching through ``_do_dequeue``); subclasses that need a
+        different selection rule (WF2Q's eligibility scan) override
+        :meth:`dequeue` wholesale with the same bookkeeping tail.
+        """
+        heap = self._head_heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[3] is not None:
+                packet = self._consume_entry(entry)
+                self._on_dequeued_slot(entry[4], packet)
+                self._backlog_packets -= 1
+                self._backlog_bits -= packet.length
+                self.in_service = packet
+                return packet
+        return None
 
     def _pop_min_entry(self) -> Optional[SlotHeapEntry]:
         """Pop the live minimum entry, purging invalidated ones."""
         heap = self._head_heap
         while heap:
-            entry = heapq.heappop(heap)
+            entry = _heappop(heap)
             if entry[3] is not None:
                 return entry
         return None
 
     def _consume_entry(self, entry: SlotHeapEntry) -> Packet:
-        """Dequeue the entry's packet and re-offer the flow's next head."""
+        """Dequeue the entry's packet and re-offer the flow's next head.
+
+        Also charges the per-flow served counters — the entry carries
+        the slot, so doing it here saves ``dequeue`` a flow-id dict
+        lookup per packet.
+        """
         packet: Packet = entry[3]
         slot: int = entry[4]
         slab = self._slab
         slab.entries[slot] = None
+        length = packet.length
+        slab.bits_served[slot] += length
+        slab.packets_served[slot] += 1
         queue = slab.queues[slot]
         head = queue.popleft()
         if self.debug_checks and head is not packet:
@@ -222,7 +239,7 @@ class ArrayHeadHeapScheduler(Scheduler):
                 nxt = queue[0]
                 fresh: SlotHeapEntry = [self._head_key(nxt), (), nxt.uid, nxt, slot]
                 slab.entries[slot] = fresh
-                heapq.heappush(self._head_heap, fresh)
+                _heappush(self._head_heap, fresh)
         else:
             keys = slab.tie_keys[slot]
             assert keys is not None  # non-FIFO enqueue always fills it
@@ -231,23 +248,26 @@ class ArrayHeadHeapScheduler(Scheduler):
                 nxt = queue[0]
                 fresh = [self._head_key(nxt), keys[0], nxt.uid, nxt, slot]
                 slab.entries[slot] = fresh
-                heapq.heappush(self._head_heap, fresh)
+                _heappush(self._head_heap, fresh)
         return packet
 
     def _do_dequeue(self, now: float) -> Optional[Packet]:
-        entry = self._pop_min_entry()
-        if entry is None:
-            return None
-        slot: int = entry[4]
-        packet = self._consume_entry(entry)
-        self._on_dequeued_slot(slot, packet)
-        return packet
+        # Same selection as the inlined ``dequeue`` fast path; only the
+        # WF2Q override (reached via its own ``dequeue``) diverges.
+        heap = self._head_heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[3] is not None:
+                packet = self._consume_entry(entry)
+                self._on_dequeued_slot(entry[4], packet)
+                return packet
+        return None
 
     def peek(self, now: float) -> Optional[Packet]:
         """Packet the next ``dequeue`` would return (no side effects)."""
         heap = self._head_heap
         while heap and heap[0][3] is None:
-            heapq.heappop(heap)
+            _heappop(heap)
         return heap[0][3] if heap else None
 
     # ------------------------------------------------------------------
@@ -350,14 +370,13 @@ class ArraySFQ(ArrayHeadHeapScheduler):
 
     def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
         slab = self._slab
-        start = max(self.v, slab.last_finish[slot])
-        # Divide (don't multiply by the cached ``inv_weight``): l/r and
-        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
-        # tags would then break differently from the object backend,
-        # flipping the service order. Byte-identical schedules require
-        # the reference path's exact arithmetic.
-        rate = packet.rate
-        finish = start + packet.length / (slab.weight[slot] if rate is None else rate)
+        # Byte-identical to the object backend by construction: both
+        # call repro.core.tagmath.start_finish (exact-float contract in
+        # its module docstring).
+        start, finish = start_finish(
+            self.v, slab.last_finish[slot], packet.length,
+            slab.weight[slot], packet.rate,
+        )
         packet.start_tag = start
         packet.finish_tag = finish
         slab.last_finish[slot] = finish
@@ -373,10 +392,19 @@ class ArraySFQ(ArrayHeadHeapScheduler):
         if finish is not None and finish > self._max_served_finish:
             self._max_served_finish = finish
 
-    def _do_service_complete(self, packet: Packet, now: float) -> None:
+    def on_service_complete(self, packet: Packet, now: float) -> None:
+        """Base dispatch flattened into one frame (hot path)."""
+        if self.in_service is packet:
+            self.in_service = None
         if self._backlog_packets == 0:
             # End of busy period: v is set to the maximum finish tag
             # assigned to any packet serviced by now (rule 2).
+            self.v = max(self.v, self._max_served_finish)
+
+    def _do_service_complete(self, packet: Packet, now: float) -> None:
+        # Unreached (on_service_complete is overridden); kept so the
+        # subclass still satisfies the template-method contract.
+        if self._backlog_packets == 0:
             self.v = max(self.v, self._max_served_finish)
 
     def _do_discard_tail_slot(self, slot: int) -> Optional[Packet]:
@@ -422,9 +450,10 @@ class ArraySCFQ(ArrayHeadHeapScheduler):
 
     def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
         slab = self._slab
-        start = max(self.v, slab.last_finish[slot])
-        rate = packet.rate
-        finish = start + packet.length / (slab.weight[slot] if rate is None else rate)
+        start, finish = start_finish(
+            self.v, slab.last_finish[slot], packet.length,
+            slab.weight[slot], packet.rate,
+        )
         packet.start_tag = start
         packet.finish_tag = finish
         slab.last_finish[slot] = finish
@@ -493,10 +522,10 @@ class ArrayWFQ(ArrayHeadHeapScheduler):
         """Shared WFQ/FQS arrival work: advance GPS, stamp both tags."""
         slab = self._slab
         v = self.gps.advance(now)
-        start = max(v, slab.last_finish[slot])
-        rate = packet.rate
         weight = slab.weight[slot]
-        finish = start + packet.length / (weight if rate is None else rate)
+        start, finish = start_finish(
+            v, slab.last_finish[slot], packet.length, weight, packet.rate
+        )
         packet.start_tag = start
         packet.finish_tag = finish
         slab.last_finish[slot] = finish
@@ -559,10 +588,10 @@ class ArrayWF2Q(ArrayHeadHeapScheduler):
     def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
         slab = self._slab
         v = self.gps.advance(now)
-        start = max(v, slab.last_finish[slot])
-        rate = packet.rate
         weight = slab.weight[slot]
-        finish = start + packet.length / (weight if rate is None else rate)
+        start, finish = start_finish(
+            v, slab.last_finish[slot], packet.length, weight, packet.rate
+        )
         packet.start_tag = start
         packet.finish_tag = finish
         slab.last_finish[slot] = finish
@@ -571,6 +600,15 @@ class ArrayWF2Q(ArrayHeadHeapScheduler):
 
     def _head_key(self, packet: Packet) -> float:
         return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Select the next packet for transmission; ``None`` when empty."""
+        packet = self._do_dequeue(now)
+        if packet is not None:
+            self._backlog_packets -= 1
+            self._backlog_bits -= packet.length
+            self.in_service = packet
+        return packet
 
     def _do_dequeue(self, now: float) -> Optional[Packet]:
         heap = self._head_heap

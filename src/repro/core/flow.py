@@ -34,6 +34,7 @@ from collections import deque
 from typing import Any, Deque, Hashable, List, Optional, Tuple
 
 from repro.core.packet import Packet
+from repro.core.tagmath import eat_step
 
 
 class EATTracker:
@@ -52,9 +53,13 @@ class EATTracker:
         """
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
-        eat = max(arrival, self._prev_eat + self._prev_service)
+        # The recursion itself is shared with the slab backend via
+        # repro.core.tagmath (see its module docstring).
+        eat, service = eat_step(
+            arrival, self._prev_eat, self._prev_service, length, rate
+        )
         self._prev_eat = eat
-        self._prev_service = length / rate
+        self._prev_service = service
         return eat
 
     def reset(self) -> None:

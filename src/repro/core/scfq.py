@@ -24,6 +24,7 @@ from repro.core.base import TieBreak
 from repro.core.flow import FlowState
 from repro.core.headheap import HeadHeapScheduler, TieBreakRule
 from repro.core.packet import Packet
+from repro.core.tagmath import start_finish
 
 
 class SCFQ(HeadHeapScheduler):
@@ -50,14 +51,11 @@ class SCFQ(HeadHeapScheduler):
         self._max_served_finish = 0.0
 
     def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        start = max(self.v, state.last_finish)
-        # Divide (don't multiply by the cached ``inv_weight``): l/r and
-        # l*(1/r) differ in ulps for non-dyadic rates, and a near-tie in
-        # tags would then break differently from the seed core, flipping
-        # the service order. Byte-identical schedules require the seed's
-        # exact arithmetic.
-        rate = packet.rate
-        finish = start + packet.length / (state._weight if rate is None else rate)
+        # The exact-float tag recursion is shared with the slab backend
+        # via repro.core.tagmath (see its module docstring).
+        start, finish = start_finish(
+            self.v, state.last_finish, packet.length, state._weight, packet.rate
+        )
         packet.start_tag = start
         packet.finish_tag = finish
         state.last_finish = finish

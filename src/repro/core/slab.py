@@ -46,6 +46,7 @@ from typing import (
 )
 
 from repro.core.packet import Packet
+from repro.core.tagmath import eat_step
 
 __all__ = ["FlowSlab", "FlowView", "SlabFlowMapping"]
 
@@ -181,9 +182,13 @@ class FlowSlab:
         """Incremental expected-arrival-time step (eq. 37) for ``slot``."""
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
-        eat = max(arrival, self.eat_prev[slot] + self.eat_service[slot])
+        # Same max/divide chain as EATTracker.on_arrival, by
+        # construction: both call repro.core.tagmath.eat_step.
+        eat, service = eat_step(
+            arrival, self.eat_prev[slot], self.eat_service[slot], length, rate
+        )
         self.eat_prev[slot] = eat
-        self.eat_service[slot] = length / rate
+        self.eat_service[slot] = service
         return eat
 
     # ------------------------------------------------------------------

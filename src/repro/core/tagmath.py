@@ -1,0 +1,77 @@
+"""Shared tag arithmetic for both scheduler backends.
+
+PR 7 copied the start/finish-tag expressions of the object backend
+(:mod:`repro.core.sfq` and friends) "expression-for-expression" into the
+slab backend (:mod:`repro.core.arrayheap`) to guarantee byte-identical
+schedules. That guarantee now lives *here*, once: both backends call
+these helpers, so the two copies cannot drift.
+
+Exact-float discipline
+----------------------
+Byte-identical schedules across backends require bit-identical tags, so
+every expression below is the seed core's, verbatim:
+
+* ``max(v, last_finish)`` with the virtual time as the *first* argument
+  (``max`` returns its first argument on ties — the argument order is
+  part of the contract);
+* ``length / r`` — divide, never multiply by a cached ``1/r``: ``l/r``
+  and ``l*(1/r)`` differ in ulps for non-dyadic rates, and a near-tie in
+  tags would then break differently between backends, flipping the
+  service order.
+
+The helpers are deliberately *pure* (no Packet, no FlowState, no slab):
+each backend keeps its own state addressing and only the arithmetic is
+shared. They are also ``mypyc``-friendly — plain module-level functions
+over ``float``/``int`` — so ``scripts/build_compiled.py`` can compile
+this module into a C extension that the import system then prefers
+transparently; the pure-Python form stays the reference and the
+fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["start_finish", "eat_step"]
+
+
+def start_finish(
+    v: float,
+    last_finish: float,
+    length: int,
+    weight: float,
+    rate: Optional[float],
+) -> Tuple[float, float]:
+    """Start/finish tags for a packet arriving into virtual time ``v``.
+
+    Implements the tag recursion shared by SFQ, SCFQ, WFQ, FQS and
+    WF2Q (paper Section 2, eqs. 1-2): the start tag is the maximum of
+    the system virtual time and the flow's previous finish tag; the
+    finish tag adds the packet's service in virtual time, ``length``
+    over the flow ``weight`` — or over the per-packet ``rate``
+    :math:`r_f^j` when one is assigned (generalized SFQ, eq. 36).
+
+    Returns ``(start, finish)``; the caller stamps the packet and
+    stores ``finish`` as the flow's new ``last_finish``.
+    """
+    start = max(v, last_finish)
+    finish = start + length / (weight if rate is None else rate)
+    return start, finish
+
+
+def eat_step(
+    arrival: float,
+    prev_eat: float,
+    prev_service: float,
+    length: int,
+    rate: float,
+) -> Tuple[float, float]:
+    """One step of the expected-arrival-time recursion (eq. 37).
+
+    ``EAT(p) = max(arrival, EAT(prev) + service(prev))`` with
+    ``service(p) = length / rate``. Returns ``(eat, service)``; the
+    caller stores both for the next step (and Virtual Clock stamps the
+    packet with ``eat + service``).
+    """
+    eat = max(arrival, prev_eat + prev_service)
+    return eat, length / rate

@@ -113,7 +113,9 @@ def bench_dispatch(ops: int, repeats: int) -> Dict[str, dict]:
             return _dispatch_seconds(sim, sim.at, ops, pending)
 
         def fast_run() -> float:
-            sim = Simulator()
+            # Optimized configuration selects the calendar event queue
+            # explicitly, mirroring how it opts into backend="array".
+            sim = Simulator(event_queue="calendar")
             return _dispatch_seconds(sim, sim.call_at, ops, pending)
 
         seed = _best_of(seed_run, repeats) / ops
@@ -167,9 +169,10 @@ def bench_pipeline(packets_per_flow: int, repeats: int) -> dict:
 
     def fast_run() -> float:
         # Optimized configuration with tracing disabled (the opt-in
-        # zero-cost path): slab-backed SFQ + engine fast loop.
+        # zero-cost path): slab-backed SFQ + calendar event queue +
+        # engine fast loop with busy-period timer elision.
         return _pipeline_seconds(
-            Simulator,
+            lambda: Simulator(event_queue="calendar"),
             lambda: make_scheduler("SFQ", auto_register=False, backend="array"),
             NullTracer(),
             packets_per_flow,
@@ -493,6 +496,47 @@ def bench_metrics_overhead(packets_per_flow: int, repeats: int) -> dict:
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
+def profile_pipeline(
+    top_n: int = 25,
+    output_dir: str = "results/profile",
+    packets_per_flow: int = 1_000,
+) -> Path:
+    """cProfile the optimized pipeline section; dump + print the top-N.
+
+    The observability hook behind ``python -m repro bench --profile N``:
+    runs the same workload as :func:`bench_pipeline`'s optimized
+    configuration under :mod:`cProfile`, writes the raw stats
+    (``pipeline.pstats``) and a ``tottime``-sorted top-N listing
+    (``pipeline_top.txt``) under ``output_dir``, and prints the listing.
+    Profiled numbers are for *relative* hot-spot ranking only — the
+    tracer overhead makes them slower than the bench's timings.
+    """
+    import cProfile
+    import pstats
+
+    out_dir = Path(output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _pipeline_seconds(
+        lambda: Simulator(event_queue="calendar"),
+        lambda: make_scheduler("SFQ", auto_register=False, backend="array"),
+        NullTracer(),
+        packets_per_flow,
+    )
+    profiler.disable()
+    stats_path = out_dir / "pipeline.pstats"
+    profiler.dump_stats(str(stats_path))
+    text_path = out_dir / "pipeline_top.txt"
+    with open(text_path, "w") as fh:
+        stats = pstats.Stats(profiler, stream=fh)
+        stats.sort_stats("tottime").print_stats(top_n)
+    sys.stdout.write(text_path.read_text())
+    print(f"wrote {stats_path}")
+    print(f"wrote {text_path}")
+    return stats_path
+
+
 def run_bench(
     smoke: bool = False,
     output_dir: Optional[str] = None,

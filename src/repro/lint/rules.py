@@ -18,6 +18,8 @@ DET005     RNG seeds in ``repro.chaos``/``repro.faults`` not rooted in
 TAG001     float ``==``/``!=`` on virtual-time/tag expressions
 PERF001    hot-path classes under ``repro.core``/``repro.simulation``
            without ``__slots__``
+PERF002    direct ``heapq`` operations on the simulator event queue
+           outside :mod:`repro.simulation.eventq` (the backend seam)
 =========  ==============================================================
 
 Adding a rule: subclass :class:`Rule`, set ``code``/``summary``, implement
@@ -746,3 +748,112 @@ class ChaosSeedProvenanceRule(Rule):
                         "seed in derive_seed(...) so replay and shrinking "
                         "can re-derive it",
                     )
+
+
+# ---------------------------------------------------------------------------
+# PERF002 — direct heapq surgery on the simulator event queue
+# ---------------------------------------------------------------------------
+
+#: heapq calls that mutate a heap in place (reads like ``nsmallest``
+#: don't bypass the seam).
+_HEAPQ_MUTATORS = frozenset(
+    {"heappush", "heappop", "heapify", "heapreplace", "heappushpop"}
+)
+
+
+@register
+class EventQueueSeamRule(Rule):
+    """No direct ``heapq`` operations on the simulator event queue.
+
+    The event queue is a pluggable backend seam
+    (:mod:`repro.simulation.eventq`): the binary heap is just one
+    implementation, and a simulation may be running on the calendar
+    queue instead. Code that reaches around the seam and ``heappush``\\ es
+    onto a simulator's storage directly is wrong on every other backend
+    — and invisible to the trace-equivalence gate until someone flips
+    ``REPRO_EVENT_QUEUE``. Inside ``repro/simulation/`` every heap *is*
+    (part of) the event queue, so any heapq mutation outside
+    ``eventq.py`` is flagged; elsewhere only receivers that name the
+    simulator or its event queue are flagged — schedulers' own internal
+    heaps (flow-head heaps, GPS trackers, regulators) are fine.
+    """
+
+    code = "PERF002"
+    summary = "direct heapq operation on the simulator event queue"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.norm_path.endswith("repro/simulation/eventq.py"):
+            return  # the seam itself: the one home of the inlined heap ops
+        module_aliases: Set[str] = set()
+        func_aliases: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq":
+                        module_aliases.add(alias.asname or "heapq")
+            elif isinstance(node, ast.ImportFrom) and node.module == "heapq":
+                for alias in node.names:
+                    if alias.name in _HEAPQ_MUTATORS:
+                        func_aliases[alias.asname or alias.name] = alias.name
+        if not module_aliases and not func_aliases:
+            return
+        in_simulation = "repro/simulation/" in ctx.norm_path
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            op = self._heapq_mutator(node.func, module_aliases, func_aliases)
+            if op is None:
+                continue
+            if in_simulation:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{op}` on the event queue outside repro.simulation."
+                    "eventq; go through the EventQueue interface (push/"
+                    "pop/peek_live/drain) so every backend stays correct",
+                )
+            elif node.args and self._names_event_queue(node.args[0]):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{op}` reaches into a simulator's event queue from "
+                    "outside repro.simulation.eventq; use the Simulator "
+                    "scheduling API or the EventQueue interface instead",
+                )
+
+    @staticmethod
+    def _heapq_mutator(
+        func: ast.expr,
+        module_aliases: Set[str],
+        func_aliases: Dict[str, str],
+    ) -> Optional[str]:
+        """The heapq mutator name a call invokes, if any."""
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id in module_aliases
+                and func.attr in _HEAPQ_MUTATORS
+            ):
+                return func.attr
+        elif isinstance(func, ast.Name) and func.id in func_aliases:
+            return func_aliases[func.id]
+        return None
+
+    @staticmethod
+    def _names_event_queue(receiver: ast.expr) -> bool:
+        """True when the heap receiver names a simulator's event queue.
+
+        Heuristic on the dotted receiver path (``sim._heap``,
+        ``self.sim._queue._heap``, ``event_heap``): any component that
+        is ``sim``/``simulator`` or contains ``event``. Scheduler-
+        internal heaps (``self._head_heap``, ``self._gsq_heap``, local
+        ``heap`` variables) never match.
+        """
+        name = dotted_name(receiver)
+        if name is None:
+            return False
+        for part in name.lower().split("."):
+            bare = part.strip("_")
+            if bare in ("sim", "simulator") or "event" in bare:
+                return True
+        return False

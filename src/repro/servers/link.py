@@ -61,6 +61,33 @@ ArrivalHook = Callable[[Packet, float], None]
 class Link:
     """A transmission link: scheduler + capacity process + event loop."""
 
+    __slots__ = (
+        "sim",
+        "scheduler",
+        "capacity",
+        "name",
+        "buffer_packets",
+        "buffer_bits",
+        "per_flow_buffer_packets",
+        "drop_policy",
+        "tracer",
+        "metrics",
+        "departure_hooks",
+        "drop_hooks",
+        "arrival_hooks",
+        "_busy",
+        "_pause_depth",
+        "_in_flight",
+        "_completion",
+        "_wakeup",
+        "_records",
+        "bits_transmitted",
+        "packets_transmitted",
+        "packets_dropped",
+        "busy_periods",
+        "_busy_since",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -132,28 +159,36 @@ class Link:
         else:
             handle = None
         # Longest-queue-drop may need several evictions to make room for
-        # a large arrival under a bits-denominated buffer.
-        while self._buffer_full(packet):
-            victim = None
-            if self.drop_policy == "longest_queue" and not self._per_flow_limited(packet):
-                victim = self._drop_from_longest_queue(now)
-            if victim is None:
-                if handle is not None:
-                    tracer.mark_dropped(handle)
-                self.packets_dropped += 1
-                if self.metrics.enabled:
-                    self.metrics.on_dropped(packet.flow, packet.length, now)
-                if self.drop_hooks:
-                    for hook in self.drop_hooks:
-                        hook(packet, now)
-                return False
+        # a large arrival under a bits-denominated buffer. An unlimited
+        # buffer (the common case) skips the admission check entirely.
+        if (
+            self.buffer_packets is not None
+            or self.buffer_bits is not None
+            or self.per_flow_buffer_packets
+        ):
+            while self._buffer_full(packet):
+                victim = None
+                if self.drop_policy == "longest_queue" and not self._per_flow_limited(packet):
+                    victim = self._drop_from_longest_queue(now)
+                if victim is None:
+                    if handle is not None:
+                        tracer.mark_dropped(handle)
+                    self.packets_dropped += 1
+                    if self.metrics.enabled:
+                        self.metrics.on_dropped(packet.flow, packet.length, now)
+                    if self.drop_hooks:
+                        for hook in self.drop_hooks:
+                            hook(packet, now)
+                    return False
         if handle is not None:
             self._records[packet.uid] = handle
-        self.scheduler.enqueue(packet, now)
-        if self.metrics.enabled:
-            self.metrics.on_arrival(packet.flow, packet.length, now)
-            self.metrics.on_queue_sample(
-                self.scheduler.backlog_packets, self.scheduler.backlog_bits
+        scheduler = self.scheduler
+        scheduler.enqueue(packet, now)
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.on_arrival(packet.flow, packet.length, now)
+            metrics.on_queue_sample(
+                scheduler.backlog_packets, scheduler.backlog_bits
             )
         if self.arrival_hooks:
             for hook in self.arrival_hooks:
@@ -217,15 +252,26 @@ class Link:
     # ------------------------------------------------------------------
     # Service loop
     # ------------------------------------------------------------------
-    def _start_service(self) -> None:
+    def _arm_next(self, now: float) -> Optional[Tuple[Packet, float]]:
+        """Claim the transmitter for the next packet, if any.
+
+        Everything :meth:`_start_service` does *except* arranging the
+        completion — the caller either schedules it as a timer or (in
+        the busy-period fast path of :meth:`_complete`) runs it inline.
+        ``now`` is the caller's current simulation time (always
+        ``sim.now``; passed in so the fast path's loop can track the
+        clock without re-reading it). Returns ``(packet, finish_time)``
+        once the transmitter is claimed, or ``None`` when service
+        cannot start (already busy, link down, or nothing eligible to
+        send).
+        """
         if self._busy:
             # A departure hook already restarted service reentrantly
             # (e.g. a closed-loop source refilling inside _complete).
-            return
+            return None
         if self._pause_depth:
             # Link is down: arrivals queue, the transmitter stays idle.
-            return
-        now = self.sim.now
+            return None
         packet = self.scheduler.dequeue(now)
         if packet is None:
             if self._busy_since is not None:
@@ -241,7 +287,7 @@ class Link:
                     self._wakeup = self.sim.at(
                         max(wake, now), self._on_wakeup
                     )
-            return
+            return None
         if self._busy_since is None:
             self._busy_since = now
         self._busy = True
@@ -250,32 +296,67 @@ class Link:
             handle = self._records.get(packet.uid)
             if handle is not None:
                 self.tracer.mark_start(handle, now)
-        finish = self.capacity.finish_time(now, packet.length)
-        self._completion = self.sim.at(finish, self._complete, packet)
+        return packet, self.capacity.finish_time(now, packet.length)
+
+    def _start_service(self) -> None:
+        armed = self._arm_next(self.sim.now)
+        if armed is not None:
+            packet, finish = armed
+            self._completion = self.sim.at(finish, self._complete, packet)
 
     def _complete(self, packet: Packet) -> None:
-        now = self.sim.now
-        self._busy = False
-        self._in_flight = None
-        self._completion = None
-        if self._records:
-            handle = self._records.pop(packet.uid, None)
-            if handle is not None:
-                self.tracer.mark_departure(handle, now)
-        self.bits_transmitted += packet.length
-        self.packets_transmitted += 1
-        if self.metrics.enabled:
-            self.metrics.on_served(
-                packet.flow, packet.length, now - packet.arrival, now
-            )
-            self.metrics.on_queue_sample(
-                self.scheduler.backlog_packets, self.scheduler.backlog_bits
-            )
-        self.scheduler.on_service_complete(packet, now)
-        if self.departure_hooks:
-            for hook in self.departure_hooks:
-                hook(packet, now)
-        self._start_service()
+        """Finish transmitting ``packet``; chain the busy period.
+
+        While the link stays backlogged, consecutive departures are
+        *chained*: if the engine can guarantee nothing else fires at or
+        before the next finish time (:meth:`Simulator.reserve_inline`),
+        the clock jumps there and the next completion runs in this same
+        loop iteration — no completion timer, no Event allocation, no
+        queue round trip. Any interleaving work (an arrival, a fault
+        injector's timer, a stream batch, a pause from a departure
+        hook) makes the reservation fail, and the completion falls back
+        to a normal timer exactly as scheduled before this fast path
+        existed. Observable behavior — departure times/order, tracer
+        records, metrics, hook order, ``events_processed`` — is
+        identical either way.
+        """
+        sim = self.sim
+        # The seed engine (tests/reference) has no reserve_inline; the
+        # fast path simply stays off there.
+        reserve = getattr(sim, "reserve_inline", None)
+        scheduler = self.scheduler
+        metrics = self.metrics
+        now = sim.now
+        while True:
+            self._busy = False
+            self._in_flight = None
+            self._completion = None
+            if self._records:
+                handle = self._records.pop(packet.uid, None)
+                if handle is not None:
+                    self.tracer.mark_departure(handle, now)
+            self.bits_transmitted += packet.length
+            self.packets_transmitted += 1
+            if metrics.enabled:
+                metrics.on_served(
+                    packet.flow, packet.length, now - packet.arrival, now
+                )
+                metrics.on_queue_sample(
+                    scheduler.backlog_packets, scheduler.backlog_bits
+                )
+            scheduler.on_service_complete(packet, now)
+            if self.departure_hooks:
+                for hook in self.departure_hooks:
+                    hook(packet, now)
+            armed = self._arm_next(now)
+            if armed is None:
+                return
+            packet, finish = armed
+            if reserve is not None and reserve(finish):
+                now = finish  # reserve_inline advanced the clock here
+                continue  # complete inline, no timer
+            self._completion = sim.at(finish, self._complete, packet)
+            return
 
     def _on_wakeup(self) -> None:
         self._wakeup = None

@@ -9,6 +9,13 @@ experiment in the reproduction runs: a heapq-based event loop
 """
 
 from repro.simulation.engine import ArrivalStream, Simulator
+from repro.simulation.eventq import (
+    EVENT_QUEUES,
+    BinaryHeapQueue,
+    CalendarQueue,
+    make_event_queue,
+    set_default_event_queue,
+)
 from repro.simulation.events import Event, EventCancelled
 from repro.simulation.process import Process, Until, Waiter, spawn
 from repro.simulation.random import RandomStreams, derive_seed
@@ -23,6 +30,11 @@ from repro.simulation.tracing import (
 __all__ = [
     "Simulator",
     "ArrivalStream",
+    "BinaryHeapQueue",
+    "CalendarQueue",
+    "EVENT_QUEUES",
+    "make_event_queue",
+    "set_default_event_queue",
     "Event",
     "EventCancelled",
     "RandomStreams",

@@ -1,4 +1,4 @@
-"""Heapq-based discrete-event simulation loop.
+"""Discrete-event simulation loop over a pluggable event queue.
 
 The :class:`Simulator` is deliberately small: a priority queue of
 pending callbacks, a clock, and run controls. Everything else in the
@@ -14,10 +14,10 @@ function of its seed and parameters.
 
 Hot-path layout
 ---------------
-The heap holds plain tuples, never :class:`~repro.simulation.events.Event`
-objects, in one of two shapes sharing the ``(time, priority, seq)``
-ordering prefix (``seq`` is globally unique, so comparison never reaches
-the payload slots):
+The event queue holds plain tuples, never
+:class:`~repro.simulation.events.Event` objects, in one of two shapes
+sharing the ``(time, priority, seq)`` ordering prefix (``seq`` is
+globally unique, so comparison never reaches the payload slots):
 
 * ``(time, priority, seq, event)`` — a *cancellable* entry created by
   :meth:`Simulator.at` / :meth:`Simulator.after`. The ``Event`` is the
@@ -28,38 +28,60 @@ the payload slots):
   No handle object is ever allocated; the loop invokes ``callback(*args)``
   directly. Most traffic-source and link-completion timers use this path,
   so the common case schedules and fires an event with zero object
-  allocations beyond the heap tuple itself.
+  allocations beyond the queue tuple itself.
 
-:meth:`Simulator.run` additionally hoists the heap, ``heappop`` and the
-run bounds into locals and inlines the cancelled-entry skip, which is
-where the bulk of the measured dispatch speedup in ``BENCH_engine.json``
-comes from.
+Which container orders those tuples is a backend choice
+(:mod:`repro.simulation.eventq`): the seed binary heap
+(:class:`~repro.simulation.eventq.BinaryHeapQueue`, the default) or a
+calendar queue (:class:`~repro.simulation.eventq.CalendarQueue`) whose
+push/pop are O(1) amortized. Both yield the identical pop order, and
+both carry their own inlined ``drain`` hot loop that
+:meth:`Simulator.run` delegates to on the common path (no streams, no
+``max_events`` budget).
+
+Busy-period timer elision
+-------------------------
+:meth:`Simulator.reserve_inline` lets the callback *currently firing*
+consume the next tick of its own timer chain without a queue round
+trip: if nothing else (queue entry or stream arrival) is due at or
+before ``time`` and run controls permit, the clock jumps straight to
+``time`` and the caller runs its completion logic inline. The strict
+"nothing at or before" test is what keeps the optimization invisible:
+a successfully reserved instant provably has no other event the loop
+could have interleaved, and the event counter advances exactly as if
+the timer had been popped. :class:`repro.servers.link.Link` uses this
+to chain back-to-back departures of a busy period (see HACKING.md).
 
 Arrival streams (batch admission)
 ---------------------------------
-Scheduling one heap tuple per generated packet is the other large cost
+Scheduling one queue tuple per generated packet is the other large cost
 at scale: a 10^6-flow workload pushes millions of timer tuples through
-the heap just to deliver precomputed arrivals. An **arrival stream**
-(:class:`ArrivalStream`) bypasses the heap for that case: it exposes the
+the queue just to deliver precomputed arrivals. An **arrival stream**
+(:class:`ArrivalStream`) bypasses the queue for that case: it exposes the
 time of its next pending arrival (``next_time``) and a ``fire()`` that
 delivers exactly one arrival and advances. The run loop merges attached
-streams with the heap — a stream wins ties against heap entries (an
+streams with the queue — a stream wins ties against queue entries (an
 arrival *at* t happens before timers at t, matching the order
 ``call_at`` arrivals would have had when scheduled first) — so sources
 can hand the engine whole precomputed arrival arrays
-(:mod:`repro.traffic.batch`) at O(1) heap cost instead of O(N log N).
+(:mod:`repro.traffic.batch`) at O(1) queue cost instead of O(N log N).
 Stream firings count toward ``events_processed`` and the ``max_events``
-budget exactly like heap events. Attach before calling :meth:`run`;
+budget exactly like queue events. Attach before calling :meth:`run`;
 streams attached while the loop is running take effect on the next
 :meth:`run`/:meth:`step`.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import Any, Callable, List, Optional, Protocol, Tuple, cast
+from typing import Any, Callable, List, Optional, Protocol, Tuple
 
+from repro.simulation.eventq import (
+    BinaryHeapQueue,
+    EventQueue,
+    EventQueueSpec,
+    make_event_queue,
+)
 from repro.simulation.events import Event, _sequence
 
 
@@ -82,26 +104,50 @@ class SimulationError(Exception):
 
 
 class Simulator:
-    """Discrete-event simulator with a float-seconds clock."""
+    """Discrete-event simulator with a float-seconds clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value.
+    event_queue:
+        Event-queue backend: a name from
+        :data:`repro.simulation.eventq.EVENT_QUEUES` (``"heap"``,
+        ``"calendar"``), a queue instance, a factory, or ``None`` for
+        the ambient default (``set_default_event_queue`` /
+        ``REPRO_EVENT_QUEUE`` / binary heap).
+    """
 
     __slots__ = (
         "_now",
-        "_heap",
+        "_queue",
+        "_push",
+        "_peek_live",
         "_streams",
         "_running",
         "_stopped",
         "_truncated",
         "_events_processed",
+        "_limit",
+        "_budget_left",
     )
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        event_queue: EventQueueSpec = None,
+    ) -> None:
         self._now = float(start_time)
-        self._heap: List[Tuple[Any, ...]] = []
+        self._queue: EventQueue = make_event_queue(event_queue)
+        self._push = self._queue.push
+        self._peek_live = self._queue.peek_live
         self._streams: List[ArrivalStream] = []
         self._running = False
         self._stopped = False
         self._truncated = False
         self._events_processed = 0
+        self._limit = -math.inf
+        self._budget_left: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -115,6 +161,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of events fired so far (for complexity accounting)."""
         return self._events_processed
+
+    @property
+    def event_queue(self) -> EventQueue:
+        """The event-queue backend this simulator runs on."""
+        return self._queue
 
     @property
     def truncated(self) -> bool:
@@ -144,14 +195,14 @@ class Simulator:
         cancellable :class:`~repro.simulation.events.Event` handle; use
         :meth:`call_at` when no handle is needed.
         """
-        if math.isnan(time):
-            raise SimulationError("cannot schedule an event at NaN")
-        if time < self._now:
+        if not time >= self._now:  # also catches NaN
+            if math.isnan(time):
+                raise SimulationError("cannot schedule an event at NaN")
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self._now}"
             )
         event = Event(time, callback, args, priority=priority)
-        heapq.heappush(self._heap, (time, priority, event.seq, event))
+        self._push((time, priority, event.seq, event))
         return event
 
     def after(
@@ -180,15 +231,13 @@ class Simulator:
         the timer cannot be cancelled. Use for the overwhelmingly common
         timers that never need cancellation (source emissions, wake-ups).
         """
-        if math.isnan(time):
-            raise SimulationError("cannot schedule an event at NaN")
-        if time < self._now:
+        if not time >= self._now:  # also catches NaN
+            if math.isnan(time):
+                raise SimulationError("cannot schedule an event at NaN")
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self._now}"
             )
-        heapq.heappush(
-            self._heap, (time, priority, next(_sequence), None, callback, args)
-        )
+        self._push((time, priority, next(_sequence), None, callback, args))
 
     def call_after(
         self,
@@ -205,7 +254,7 @@ class Simulator:
     def attach_stream(self, stream: ArrivalStream) -> None:
         """Merge an :class:`ArrivalStream` into the event loop.
 
-        The stream delivers precomputed arrivals without a heap tuple
+        The stream delivers precomputed arrivals without a queue tuple
         per packet. An exhausted stream (``next_time == math.inf``) is
         detached automatically by the loop. Attaching while the loop is
         running takes effect on the next :meth:`run`/:meth:`step`.
@@ -248,32 +297,33 @@ class Simulator:
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None when nothing is pending.
 
-        Considers both the timer heap and attached arrival streams.
+        Considers both the event queue and attached arrival streams.
         """
-        self._drop_cancelled()
-        heap_t = cast(float, self._heap[0][0]) if self._heap else math.inf
+        head = self._queue.peek_live()
+        heap_t = float(head[0]) if head is not None else math.inf
         stream_t, _ = self._min_stream()
         nxt = min(heap_t, stream_t)
         return None if nxt == math.inf else nxt
 
     def step(self) -> bool:
-        """Fire the single next event (heap timer or stream arrival).
+        """Fire the single next event (queue timer or stream arrival).
 
         Returns False when none remain. A stream arrival wins a tie
-        against a heap timer at the same instant (same rule as
+        against a queue timer at the same instant (same rule as
         :meth:`run`).
         """
-        self._drop_cancelled()
-        heap_t = cast(float, self._heap[0][0]) if self._heap else math.inf
+        queue = self._queue
+        head = queue.peek_live()
+        heap_t = float(head[0]) if head is not None else math.inf
         stream_t, stream = self._min_stream()
         if stream is not None and stream_t <= heap_t:
             self._now = stream_t
             self._events_processed += 1
             stream.fire()
             return True
-        if not self._heap:
+        if head is None:
             return False
-        entry = heapq.heappop(self._heap)
+        entry = queue.pop()
         self._now = entry[0]
         self._events_processed += 1
         event = entry[3]
@@ -304,69 +354,34 @@ class Simulator:
         self._running = True
         self._stopped = False
         self._truncated = False
-        heap = self._heap
-        heappop = heapq.heappop
         limit = math.inf if until is None else until
-        budget = math.inf if max_events is None else max_events
-        fired = 0
+        self._limit = limit
+        self._budget_left = max_events
         try:
-            if self._streams:
-                fired = self._run_merged(limit, budget)
+            if self._streams or max_events is not None:
+                self._run_generic(limit)
             else:
-                while heap and not self._stopped:
-                    entry = heap[0]
-                    event = entry[3]
-                    if event is not None and event.cancelled:
-                        heappop(heap)
-                        continue
-                    time = entry[0]
-                    if time > limit:
-                        break
-                    heappop(heap)
-                    self._now = time
-                    self._events_processed += 1
-                    if event is None:
-                        entry[4](*entry[5])
-                    else:
-                        event._fire()
-                    fired += 1
-                    if fired >= budget:
-                        while heap:
-                            head = heap[0]
-                            ev = head[3]
-                            if ev is not None and ev.cancelled:
-                                heappop(heap)
-                                continue
-                            if head[0] <= limit:
-                                self._truncated = True
-                            break
-                        break
+                # Common case: the backend's own inlined hot loop.
+                self._queue.drain(self, limit)
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
 
-    def _run_merged(self, limit: float, budget: float) -> int:
-        """Run loop merging attached arrival streams with the timer heap.
+    def _run_generic(self, limit: float) -> None:
+        """Run loop handling arrival streams and ``max_events`` budgets.
 
-        Kept out of :meth:`run`'s pure-heap fast path so simulations
-        without streams pay nothing for the feature. A stream arrival
-        wins ties against heap timers at the same instant.
+        Kept out of the common path so simulations without either pay
+        nothing; goes through the queue interface only (the inlined
+        container loops live in :mod:`repro.simulation.eventq`). A
+        stream arrival wins ties against queue timers at the same
+        instant.
         """
-        heap = self._heap
-        heappop = heapq.heappop
-        fired = 0
+        queue = self._queue
         while not self._stopped:
-            # Surface the live heap head (skip cancelled in place).
-            while heap:
-                head = heap[0]
-                ev = head[3]
-                if ev is not None and ev.cancelled:
-                    heappop(heap)
-                    continue
-                break
-            heap_t = heap[0][0] if heap else math.inf
+            head = queue.peek_live()
+            heap_t = float(head[0]) if head is not None else math.inf
             stream_t, stream = self._min_stream()
             if stream is not None and stream_t <= heap_t:
                 if stream_t > limit:
@@ -374,44 +389,71 @@ class Simulator:
                 self._now = stream_t
                 self._events_processed += 1
                 stream.fire()
-            elif heap:
-                entry = heap[0]
-                time = entry[0]
+            elif head is not None:
+                time = head[0]
                 if time > limit:
                     break
-                heappop(heap)
+                queue.pop()
                 self._now = time
                 self._events_processed += 1
-                event = entry[3]
+                event = head[3]
                 if event is None:
-                    entry[4](*entry[5])
+                    head[4](*head[5])
                 else:
                     event._fire()
             else:
                 break
-            fired += 1
-            if fired >= budget:
-                nxt = self.peek()
-                if nxt is not None and nxt <= limit:
-                    self._truncated = True
-                break
-        return fired
+            budget = self._budget_left
+            if budget is not None:
+                # reserve_inline may have spent part of the budget
+                # during the callback; settle the firing just done.
+                budget -= 1
+                self._budget_left = budget
+                if budget <= 0:
+                    nxt = self.peek()
+                    if nxt is not None and nxt <= limit:
+                        self._truncated = True
+                    break
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
         """Run for ``duration`` simulated seconds from the current time."""
         return self.run(until=self._now + duration, max_events=max_events)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Busy-period timer elision
     # ------------------------------------------------------------------
-    def _drop_cancelled(self) -> None:
-        heap = self._heap
-        while heap:
-            event = heap[0][3]
-            if event is not None and event.cancelled:
-                heapq.heappop(heap)
-            else:
-                break
+    def reserve_inline(self, time: float) -> bool:
+        """Claim the instant ``time`` for the currently firing callback.
+
+        Succeeds — advancing the clock to ``time`` and counting one
+        processed event — only when the loop could not possibly have
+        run anything else first: the loop is live, ``time`` is within
+        the active ``until`` horizon and event budget, and every
+        pending queue entry and stream arrival is *strictly* later than
+        ``time`` (a tie must lose to the already-queued work, which
+        holds an earlier sequence number — and to streams, which win
+        ties by rule). On success the caller must immediately run the
+        work it would otherwise have scheduled at ``time``; on failure
+        it must schedule normally. Either way the observable schedule
+        is identical; success merely skips the queue round trip.
+        """
+        if not self._running or self._stopped or time > self._limit:
+            return False
+        budget = self._budget_left
+        if budget is not None and budget <= 1:
+            return False
+        head = self._peek_live()
+        if head is not None and head[0] <= time:
+            return False
+        if self._streams:
+            stream_t, _ = self._min_stream()
+            if stream_t <= time:
+                return False
+        if budget is not None:
+            self._budget_left = budget - 1
+        self._now = time
+        self._events_processed += 1
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.9g}, pending={len(self._heap)})"
+        return f"Simulator(now={self._now:.9g}, pending={len(self._queue)})"

@@ -76,6 +76,41 @@ def test_improvements_and_small_changes_pass(bench_compare):
     assert bench_compare.compare(baseline, fresh, threshold=0.30) == []
 
 
+def test_missing_section_fails_with_diagnostic(bench_compare, capsys):
+    # A renamed/dropped section must fail the gate with a per-metric
+    # diagnostic, not silently shrink its coverage.
+    baseline = _payload(optimized_dispatch_ns_per_event=2e6)
+    fresh = {"renamed_section": {"optimized_dispatch_ns_per_event": 2e6}}
+    failures = bench_compare.compare(baseline, fresh, threshold=0.30)
+    assert len(failures) == 1
+    path, base, new, regression = failures[0]
+    assert path == "section.optimized_dispatch_ns_per_event"
+    assert base == 2e6
+    assert new is None and regression is None
+    out = capsys.readouterr().out
+    assert "MISSING" in out and "absent from" in out
+
+
+def test_missing_section_exits_nonzero(bench_compare, tmp_path, capsys):
+    # End-to-end through main(): baseline has a section the fresh run
+    # lost; exit status must be nonzero and stderr must name the metric.
+    import json
+
+    for name in bench_compare.BENCH_FILES:
+        (tmp_path / "base").mkdir(exist_ok=True)
+        (tmp_path / "fresh").mkdir(exist_ok=True)
+        (tmp_path / "base" / name).write_text(json.dumps(
+            {"section": {"optimized_dispatch_ns_per_event": 2e6}}
+        ))
+        (tmp_path / "fresh" / name).write_text(json.dumps({}))
+    rc = bench_compare.main([
+        "--baseline-dir", str(tmp_path / "base"),
+        "--fresh-dir", str(tmp_path / "fresh"),
+    ])
+    assert rc == 1
+    assert "MISSING" in capsys.readouterr().err
+
+
 def test_floor_is_configurable(bench_compare):
     baseline = _payload(optimized_dequeue_ns_per_packet=200.0)
     fresh = _payload(optimized_dequeue_ns_per_packet=2000.0)

@@ -176,6 +176,84 @@ def test_det004_passes_uid_tiebreak():
 
 
 # ---------------------------------------------------------------------------
+# PERF002 — direct heapq surgery on the simulator event queue
+# ---------------------------------------------------------------------------
+
+
+def test_perf002_catches_heapq_in_simulation_package():
+    findings = run_lint_on_source(
+        "import heapq\n"
+        "def f(queue, entry):\n"
+        "    heapq.heappush(queue, entry)\n",
+        path="src/repro/simulation/engine.py",
+    )
+    assert "PERF002" in codes(findings)
+
+
+def test_perf002_catches_from_import_alias_in_simulation():
+    findings = run_lint_on_source(
+        "from heapq import heappop as _pop\n"
+        "def f(queue):\n"
+        "    return _pop(queue)\n",
+        path="src/repro/simulation/process.py",
+    )
+    assert "PERF002" in codes(findings)
+
+
+def test_perf002_allows_eventq_itself():
+    findings = run_lint_on_source(
+        "import heapq\n"
+        "def f(heap, entry):\n"
+        "    heapq.heappush(heap, entry)\n",
+        path="src/repro/simulation/eventq.py",
+    )
+    assert "PERF002" not in codes(findings)
+
+
+def test_perf002_catches_event_heap_receiver_outside_simulation():
+    findings = run_lint_on_source(
+        "import heapq\n"
+        "def f(sim, entry):\n"
+        "    heapq.heappush(sim._heap, entry)\n",
+        path="src/repro/servers/thing.py",
+    )
+    assert "PERF002" in codes(findings)
+    findings = run_lint_on_source(
+        "import heapq\n"
+        "class S:\n"
+        "    __slots__ = ('sim',)\n"
+        "    def f(self, entry):\n"
+        "        heapq.heappush(self.sim._queue._heap, entry)\n",
+        path="src/repro/core/thing.py",
+    )
+    assert "PERF002" in codes(findings)
+
+
+def test_perf002_allows_scheduler_internal_heaps():
+    findings = run_lint_on_source(
+        "import heapq\n"
+        "class Sched:\n"
+        "    __slots__ = ('_head_heap', '_gsq_heap')\n"
+        "    def f(self, entry):\n"
+        "        heapq.heappush(self._head_heap, entry)\n"
+        "        heap = self._gsq_heap\n"
+        "        return heapq.heappop(heap)\n",
+        path="src/repro/core/thing.py",
+    )
+    assert "PERF002" not in codes(findings)
+
+
+def test_perf002_ignores_non_mutating_heapq_reads():
+    findings = run_lint_on_source(
+        "import heapq\n"
+        "def f(sim):\n"
+        "    return heapq.nsmallest(3, sim._heap)\n",
+        path="src/repro/servers/thing.py",
+    )
+    assert "PERF002" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
 # DET005 — fault/chaos seed provenance
 # ---------------------------------------------------------------------------
 
@@ -351,7 +429,7 @@ def test_resolve_rules_rejects_unknown_codes():
 def test_registry_is_complete():
     assert set(all_rule_codes()) == set(RULES) == {
         "DET001", "DET002", "DET003", "DET004", "DET005", "TAG001",
-        "PERF001",
+        "PERF001", "PERF002",
     }
     for rule in RULES.values():
         assert rule.summary
@@ -413,6 +491,11 @@ def test_cli_list_rules(capsys):
     ("DET005", "import random\nrng = random.Random(3)\n", "chaos"),
     ("TAG001", "def f(a, b):\n    return a.finish_tag == b.finish_tag\n", "core"),
     ("PERF001", _UNSLOTTED, "core"),
+    ("PERF002", (
+        "import heapq\n"
+        "def f(queue, entry):\n"
+        "    heapq.heappush(queue, entry)\n"
+    ), "simulation"),
 ])
 def test_cli_nonzero_on_each_rules_catching_fixture(
     tmp_path, capsys, code, source, subdir

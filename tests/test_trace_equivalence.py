@@ -208,14 +208,19 @@ SCHEDULERS = {
 
 BACKENDS = ("object", "array")
 
+#: Event-queue backends the optimized side must be byte-identical under.
+#: The seed side always runs on the default binary heap, so each case
+#: doubles as a cross-event-queue equivalence check.
+EVENT_QUEUE_BACKENDS = ("heap", "calendar")
+
 #: Schedulers supporting discard_tail (the others raise NotImplementedError).
 DISCARD_CAPABLE = {"SFQ", "SCFQ"}
 
 
-def run_trace(scheduler_factory, setup, workload_name):
+def run_trace(scheduler_factory, setup, workload_name, event_queue=None):
     """Run one (scheduler, workload) combination; return the trace."""
     flow_ids, arrivals, link_kwargs = WORKLOADS[workload_name]()
-    sim = Simulator()
+    sim = Simulator() if event_queue is None else Simulator(event_queue=event_queue)
     sched = scheduler_factory()
     if setup is not None:
         setup(sched, flow_ids)
@@ -259,18 +264,21 @@ def _combos():
             yield sched_name, wl_name
 
 
+@pytest.mark.parametrize("eventq", EVENT_QUEUE_BACKENDS)
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("sched_name,wl_name", list(_combos()))
-def test_trace_equivalence(sched_name, wl_name, backend):
+def test_trace_equivalence(sched_name, wl_name, backend, eventq):
     new_factory, legacy_factory, setup = SCHEDULERS[sched_name]
     # DelayEDD churn: auto-registered flows need deadlines; skip handled
     # in _combos. Everything else must match record-for-record.
-    optimized = run_trace(lambda: new_factory(backend), setup, wl_name)
+    optimized = run_trace(
+        lambda: new_factory(backend), setup, wl_name, event_queue=eventq
+    )
     legacy = run_trace(legacy_factory, setup, wl_name)
     assert len(optimized) == len(legacy)
     for i, (new_rec, old_rec) in enumerate(zip(optimized, legacy)):
         assert new_rec == old_rec, (
-            f"{sched_name}[{backend}]/{wl_name}: record {i} diverged:\n"
+            f"{sched_name}[{backend}]/{wl_name}/{eventq}: record {i} diverged:\n"
             f"  optimized: {new_rec}\n  seed:      {old_rec}"
         )
 
