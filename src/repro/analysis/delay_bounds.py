@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.tagmath import eat_step
+
 
 def expected_arrival_times(
     arrivals: Sequence[float],
@@ -36,10 +38,10 @@ def expected_arrival_times(
     prev_eat = float("-inf")
     prev_service = 0.0
     for arrival, length, rate in zip(arrivals, lengths, rates):
-        eat = max(arrival, prev_eat + prev_service)
+        eat, service = eat_step(arrival, prev_eat, prev_service, length, rate)
         eats.append(eat)
         prev_eat = eat
-        prev_service = length / rate
+        prev_service = service
     return eats
 
 

@@ -154,7 +154,7 @@ class ArrayHeadHeapScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Queueing protocol (slot-indexed fast paths)
     # ------------------------------------------------------------------
-    def enqueue(self, packet: Packet, now: float) -> None:
+    def enqueue(self, packet: Packet, now: float) -> None:  # lint: hot
         """Accept ``packet`` arriving at time ``now``."""
         slot = self._slab.index.get(packet.flow)
         if slot is None:
@@ -184,7 +184,7 @@ class ArrayHeadHeapScheduler(Scheduler):
             slab.entries[slot] = entry
             _heappush(self._head_heap, entry)
 
-    def dequeue(self, now: float) -> Optional[Packet]:
+    def dequeue(self, now: float) -> Optional[Packet]:  # lint: hot
         """Select the next packet for transmission; ``None`` when empty.
 
         The generic pop-min path is inlined here (one frame instead of

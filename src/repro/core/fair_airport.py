@@ -40,6 +40,7 @@ from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
 from repro.core.base import Scheduler
 from repro.core.flow import FlowState
 from repro.core.packet import Packet
+from repro.core.tagmath import start_finish
 
 
 class _FAFlow:
@@ -101,8 +102,9 @@ class FairAirport(Scheduler):
     # ------------------------------------------------------------------
     def _do_enqueue(self, state: FlowState, packet: Packet, now: float) -> None:
         rate = state.packet_rate(packet)
-        start = max(self.v, state.last_finish)
-        finish = start + packet.length / rate
+        # Exact-float tag recursion shared with every other discipline
+        # via repro.core.tagmath (divides by the reserved rate).
+        start, finish = start_finish(self.v, state.last_finish, packet.length, rate, None)
         packet.start_tag = start
         packet.finish_tag = finish
         state.last_finish = finish

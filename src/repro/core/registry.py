@@ -154,7 +154,7 @@ def default_backend() -> str:
     """
     if _DEFAULT_BACKEND is not None:
         return _DEFAULT_BACKEND
-    env = os.environ.get("REPRO_SCHED_BACKEND")
+    env = os.environ.get("REPRO_SCHED_BACKEND")  # lint: disable=CACHE001  backend selection is result-invariant: the trace-equivalence suite gates byte-identical schedules across backends
     if env:
         return _validate_backend(env.strip().lower())
     return "object"
@@ -198,8 +198,8 @@ def register_scheduler(spec: SchedulerSpec) -> SchedulerSpec:
     Returns the spec so callers can ``register_scheduler(SchedulerSpec(
     ...))`` and keep the handle.
     """
-    _REGISTRY[spec.name] = spec
-    _ALIASES[spec.name.lower()] = spec.name
+    _REGISTRY[spec.name] = spec  # lint: disable=CACHE001  idempotent name-keyed registration (import-time setup), not result state
+    _ALIASES[spec.name.lower()] = spec.name  # lint: disable=CACHE001  idempotent name-keyed registration (import-time setup), not result state
     return spec
 
 

@@ -22,6 +22,7 @@ from repro.analysis.admission import delay_edd_schedulable
 from repro.analysis.delay_bounds import edd_delay_bound, hierarchical_fc_params
 from repro.core import HierarchicalScheduler, Packet
 from repro.core.registry import make_scheduler
+from repro.core.tagmath import eat_step
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link, TwoRateSquareWave
 from repro.simulation import Simulator
@@ -56,8 +57,10 @@ def _deadline_check(link: Link, capacity: float, delta: float) -> Dict[str, floa
         prev_eat = float("-inf")
         prev_service = 0.0
         for record in records:
-            eat = max(record.arrival, prev_eat + prev_service)
-            prev_eat, prev_service = eat, record.length / rates[flow]
+            eat, service = eat_step(
+                record.arrival, prev_eat, prev_service, record.length, rates[flow]
+            )
+            prev_eat, prev_service = eat, service
             bound = edd_delay_bound(eat + deadlines[flow], PACKET, capacity, delta)
             worst = min(worst, bound - record.departure)
         out[flow] = worst

@@ -154,6 +154,7 @@ class LinkOutage:
         if self.max_outages is not None and self.outages >= self.max_outages:
             return
         assert self._rng is not None
+        assert self.mean_time_to_failure is not None
         delay = self._rng.expovariate(1.0 / self.mean_time_to_failure)
         when = self.sim.now + delay
         if self.stop_time is not None and when >= self.stop_time:
@@ -168,6 +169,7 @@ class LinkOutage:
         self._down_since = self.sim.now
         self.link.pause()
         if self._rng is not None:
+            assert self.mean_outage is not None
             self.sim.after(
                 self._rng.expovariate(1.0 / self.mean_outage), self._up
             )

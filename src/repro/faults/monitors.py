@@ -394,7 +394,9 @@ class VirtualTimeMonitor(Monitor):
         link.departure_hooks.append(self._check)
 
     def _check(self, packet: Packet, now: float) -> None:
-        v = self.link.scheduler.virtual_time
+        # The constructor verified the attribute exists; the base
+        # Scheduler type deliberately does not declare it.
+        v = float(getattr(self.link.scheduler, "virtual_time"))
         if v < self.last_v - self.eps:
             self._violate(
                 now,

@@ -20,7 +20,13 @@ PERF001    hot-path classes under ``repro.core``/``repro.simulation``
            without ``__slots__``
 PERF002    direct ``heapq`` operations on the simulator event queue
            outside :mod:`repro.simulation.eventq` (the backend seam)
+PERF003    per-call/per-iteration allocation and repeated attribute
+           chains inside functions marked ``# lint: hot``
 =========  ==============================================================
+
+The whole-program rules (CACHE001, TAG002, DET006) live in
+:mod:`repro.lint.rules_project`; they need the module graph, the call
+graph, and the dataflow engine rather than a single file's AST.
 
 Adding a rule: subclass :class:`Rule`, set ``code``/``summary``, implement
 ``check``, and decorate with :func:`register` (see HACKING.md, "Static
@@ -32,8 +38,9 @@ ordering are the analyzer's job, not the rule's.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple, Type
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Type
 
 from repro.lint.findings import Finding
 
@@ -857,3 +864,153 @@ class EventQueueSeamRule(Rule):
             if bare in ("sim", "simulator") or "event" in bare:
                 return True
         return False
+
+
+# ---------------------------------------------------------------------------
+# PERF003 — allocations / uncached attribute chains in `# lint: hot` functions
+# ---------------------------------------------------------------------------
+
+
+_HOT_RE = re.compile(r"#\s*lint:\s*hot\b")
+
+#: Builtin constructors that allocate a fresh container per call.
+_ALLOCATING_BUILTINS = frozenset({"list", "dict", "set", "tuple"})
+
+
+def hot_function_lines(source: str) -> FrozenSet[int]:
+    """1-based line numbers carrying a ``# lint: hot`` marker."""
+    return frozenset(
+        lineno
+        for lineno, text in enumerate(source.splitlines(), start=1)
+        if "lint:" in text and _HOT_RE.search(text)
+    )
+
+
+@register
+class HotFunctionAllocationRule(Rule):
+    """Per-iteration allocation in functions marked ``# lint: hot``.
+
+    The drain loops (`eventq`), the ``Link`` busy-period completion
+    chain, and the array-heap enqueue/dequeue are the measured inner
+    loops of every benchmark: a list comprehension or a ``{...}``
+    display there is a per-event allocation, and an attribute chain
+    re-read every iteration is a dict lookup CPython will not hoist.
+    Mark such functions with ``# lint: hot`` on (or directly above) the
+    ``def`` line; the marker is also what seeds PERF003's scope — cold
+    code is free to allocate.
+    """
+
+    code = "PERF003"
+    summary = "allocation or repeated attribute chain in a `# lint: hot` function"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        hot_lines = hot_function_lines(ctx.source)
+        if not hot_lines:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._is_hot(node, hot_lines):
+                yield from self._check_hot(ctx, node)
+
+    @staticmethod
+    def _is_hot(
+        node: ast.AST, hot_lines: FrozenSet[int]
+    ) -> bool:
+        """Marker on the ``def`` line, a decorator line, or just above."""
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        first = min(
+            [node.lineno] + [dec.lineno for dec in node.decorator_list]
+        )
+        return any(
+            line in hot_lines for line in range(first - 1, node.lineno + 1)
+        )
+
+    def _check_hot(
+        self, ctx: ModuleContext, fn: ast.AST
+    ) -> Iterator[Finding]:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        # Comprehensions allocate wherever they appear in a hot body.
+        kinds = {
+            ast.ListComp: "list comprehension",
+            ast.SetComp: "set comprehension",
+            ast.DictComp: "dict comprehension",
+            ast.GeneratorExp: "generator expression",
+        }
+        for node in ast.walk(fn):
+            kind = kinds.get(type(node))
+            if kind is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{kind} allocates on every call of hot function "
+                    f"`{fn.name}`; hoist it out of the hot path or build "
+                    "into a reused buffer",
+                )
+        # Displays / allocating constructors / lambdas *inside loops*.
+        for loop in ast.walk(fn):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            yield from self._check_loop(ctx, fn.name, loop)
+
+    def _check_loop(
+        self, ctx: ModuleContext, fn_name: str, loop: ast.stmt
+    ) -> Iterator[Finding]:
+        body = getattr(loop, "body", []) + getattr(loop, "orelse", [])
+        chains: Dict[str, List[ast.Attribute]] = {}
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                    continue  # nested loops report themselves
+                if isinstance(node, (ast.List, ast.Dict, ast.Set)) and (
+                    getattr(node, "elts", None) or getattr(node, "keys", None)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"container display allocates every iteration of a "
+                        f"loop in hot function `{fn_name}`",
+                    )
+                elif isinstance(node, ast.Lambda):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"lambda allocates a closure every iteration of a "
+                        f"loop in hot function `{fn_name}`; define it once "
+                        "outside the loop",
+                    )
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ALLOCATING_BUILTINS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{node.func.id}(...)` allocates every iteration of "
+                        f"a loop in hot function `{fn_name}`",
+                    )
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Attribute)
+                ):
+                    dotted = dotted_name(node)
+                    if dotted is not None:
+                        chains.setdefault(dotted, []).append(node)
+        for dotted, nodes in sorted(chains.items()):
+            # Skip chains that are a prefix of a longer recorded chain
+            # (reported once, at full length).
+            if any(
+                other != dotted and other.startswith(dotted + ".")
+                for other in chains
+            ):
+                continue
+            if len(nodes) >= 2:
+                yield self.finding(
+                    ctx,
+                    nodes[0],
+                    f"attribute chain `{dotted}` is re-read {len(nodes)}x "
+                    f"inside a loop in hot function `{fn_name}`; bind it to "
+                    "a local before the loop",
+                )

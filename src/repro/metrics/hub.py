@@ -43,7 +43,7 @@ violations as ``invariant_violations{monitor}``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Type, Union
 
 from repro.metrics.instruments import (
     Counter,
@@ -80,7 +80,7 @@ DELAY_HISTOGRAM = (1e-6, 1e3, 64)
 #: 8 bits .. 10 Mbit (covers every packet size the experiments use).
 LENGTH_HISTOGRAM = (8.0, 1e7, 40)
 
-_KINDS = {
+_KINDS: Dict[str, Type[Instrument]] = {
     "counter": Counter,
     "gauge": Gauge,
     "histogram": Histogram,

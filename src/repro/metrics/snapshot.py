@@ -68,7 +68,7 @@ class Snapshot:
             raise ValueError(
                 f"unsupported metrics-snapshot schema {payload.get('schema')!r}"
             )
-        hubs = {}
+        hubs: Dict[str, MetricsHub] = {}
         for hub_payload in payload["hubs"]:
             hub = MetricsHub.from_payload(hub_payload)
             hubs[hub.name] = hub

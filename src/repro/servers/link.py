@@ -304,7 +304,7 @@ class Link:
             packet, finish = armed
             self._completion = self.sim.at(finish, self._complete, packet)
 
-    def _complete(self, packet: Packet) -> None:
+    def _complete(self, packet: Packet) -> None:  # lint: hot
         """Finish transmitting ``packet``; chain the busy period.
 
         While the link stays backlogged, consecutive departures are

@@ -106,7 +106,7 @@ class BinaryHeapQueue:
             return head
         return None
 
-    def drain(self, sim: Any, limit: float) -> int:
+    def drain(self, sim: Any, limit: float) -> int:  # lint: hot
         """Fire events in order while ``time <= limit`` (no budget).
 
         The engine's stream-free, unbudgeted hot loop: hoists the heap
@@ -394,7 +394,7 @@ class CalendarQueue:
     # ------------------------------------------------------------------
     # Hot loop
     # ------------------------------------------------------------------
-    def drain(self, sim: Any, limit: float) -> int:
+    def drain(self, sim: Any, limit: float) -> int:  # lint: hot
         """Fire events in order while ``time <= limit`` (no budget).
 
         Same contract as :meth:`BinaryHeapQueue.drain`, with the bucket
@@ -498,7 +498,7 @@ def make_event_queue(spec: EventQueueSpec = None) -> EventQueue:
     if spec is None:
         spec = _default_spec
     if spec is None:
-        spec = os.environ.get("REPRO_EVENT_QUEUE", "heap")
+        spec = os.environ.get("REPRO_EVENT_QUEUE", "heap")  # lint: disable=CACHE001  queue backend is result-invariant: the trace-equivalence suite gates byte-identical schedules across queues
     if isinstance(spec, str):
         try:
             factory = EVENT_QUEUES[spec]

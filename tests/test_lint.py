@@ -19,7 +19,9 @@ import pytest
 from repro.lint import (
     Finding,
     LintUsageError,
+    PROJECT_RULES,
     RULES,
+    all_project_rule_codes,
     all_rule_codes,
     lint_source,
     parse_suppressions,
@@ -370,6 +372,48 @@ def test_perf001_exempts_slotted_dataclass_and_exceptions():
 
 
 # ---------------------------------------------------------------------------
+# PERF003 — allocation / uncached attribute chains in `# lint: hot` functions
+# ---------------------------------------------------------------------------
+
+_HOT_COMPREHENSION = (
+    "def drain(self, out):  # lint: hot\n"
+    "    out.extend([e.item for e in self._heap])\n"
+)
+
+
+def test_perf003_catches_comprehension_in_hot_function():
+    findings = run_lint_on_source(_HOT_COMPREHENSION)
+    assert "PERF003" in codes(findings)
+
+
+def test_perf003_catches_display_inside_hot_loop():
+    findings = run_lint_on_source(
+        "def pump(self, events):  # lint: hot\n"
+        "    for e in events:\n"
+        "        self.log.append({'t': e.t, 'id': e.id})\n"
+    )
+    assert "PERF003" in codes(findings)
+
+
+def test_perf003_passes_preallocated_loop():
+    findings = run_lint_on_source(
+        "def drain(self, out):  # lint: hot\n"
+        "    heap = self._heap\n"
+        "    while heap:\n"
+        "        out.append(heap.pop())\n"
+    )
+    assert "PERF003" not in codes(findings)
+
+
+def test_perf003_ignores_unmarked_functions():
+    findings = run_lint_on_source(
+        "def cold(self, out):\n"
+        "    out.extend([e.item for e in self._heap])\n"
+    )
+    assert "PERF003" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
@@ -429,10 +473,64 @@ def test_resolve_rules_rejects_unknown_codes():
 def test_registry_is_complete():
     assert set(all_rule_codes()) == set(RULES) == {
         "DET001", "DET002", "DET003", "DET004", "DET005", "TAG001",
-        "PERF001", "PERF002",
+        "PERF001", "PERF002", "PERF003",
     }
+    assert set(all_project_rule_codes()) == set(PROJECT_RULES) == {
+        "CACHE001", "TAG002", "DET006",
+    }
+    # The two families must never share a code: engine dedup keys on
+    # (path, line, rule) across both registries.
+    assert not set(RULES) & set(PROJECT_RULES)
     for rule in RULES.values():
         assert rule.summary
+    for cls in PROJECT_RULES.values():
+        assert cls.summary
+
+
+# Registry-wide fixture sweep: every rule (module and project) must
+# have a catching fixture and a passing fixture in the test suite.
+# Adding a rule without them fails here, not silently in production.
+_CATCHING = {
+    "DET001": "test_det001_catches_module_level_random",
+    "DET002": "test_det002_catches_wall_clock_in_simulation_code",
+    "DET003": "test_det003_catches_set_iteration_feeding_heappush",
+    "DET004": "test_det004_catches_id_in_comparator",
+    "DET005": "test_det005_catches_raw_random_in_chaos_code",
+    "DET006": "test_det006_catches_wallclock_through_helper_into_call_at",
+    "TAG001": "test_tag001_catches_tag_equality",
+    "TAG002": "test_tag002_catches_inline_eq4",
+    "PERF001": "test_perf001_catches_unslotted_hot_path_class",
+    "PERF002": "test_perf002_catches_heapq_in_simulation_package",
+    "PERF003": "test_perf003_catches_comprehension_in_hot_function",
+    "CACHE001": "test_cache001_catches_env_read_in_entry",
+}
+_PASSING = {
+    "DET001": "test_det001_passes_seeded_generator",
+    "DET002": "test_det002_passes_in_benchmarks_dir",
+    "DET003": "test_det003_passes_with_sorted",
+    "DET004": "test_det004_passes_uid_tiebreak",
+    "DET005": "test_det005_passes_derived_seed",
+    "DET006": "test_det006_passes_simulation_derived_time",
+    "TAG001": "test_tag001_passes_ordering_comparison",
+    "TAG002": "test_tag002_passes_disciplined_call",
+    "PERF001": "test_perf001_passes_with_slots",
+    "PERF002": "test_perf002_allows_eventq_itself",
+    "PERF003": "test_perf003_passes_preallocated_loop",
+    "CACHE001": "test_cache001_passes_pure_entry",
+}
+
+
+def test_every_rule_has_catching_and_passing_fixtures():
+    import tests.test_lint as module_suite
+    import tests.test_lint_project as project_suite
+
+    every_code = set(all_rule_codes()) | set(all_project_rule_codes())
+    assert set(_CATCHING) == set(_PASSING) == every_code
+    for table in (_CATCHING, _PASSING):
+        for code, test_name in table.items():
+            assert hasattr(module_suite, test_name) or hasattr(
+                project_suite, test_name
+            ), f"{code}: fixture test {test_name} not found"
 
 
 def test_syntax_error_reported_not_raised():
@@ -476,6 +574,8 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in all_rule_codes():
         assert code in out
+    for code in all_project_rule_codes():
+        assert code in out
 
 
 @pytest.mark.parametrize("code,source,subdir", [
@@ -495,6 +595,16 @@ def test_cli_list_rules(capsys):
         "import heapq\n"
         "def f(queue, entry):\n"
         "    heapq.heappush(queue, entry)\n"
+    ), "simulation"),
+    ("PERF003", _HOT_COMPREHENSION, "core"),
+    ("TAG002", (
+        "def f(v, last_finish, length, rate):\n"
+        "    return max(v, last_finish) + length / rate\n"
+    ), "core"),
+    ("DET006", (
+        "import time\n"
+        "def arm(sim, handler):\n"
+        "    sim.call_at(time.time(), handler)\n"
     ), "simulation"),
 ])
 def test_cli_nonzero_on_each_rules_catching_fixture(

@@ -1,0 +1,613 @@
+"""Tests for the whole-program lint engine (v2): semantic rules,
+call graph + dataflow plumbing, cache, baseline, dedup, CLI formats.
+
+Each semantic rule is exercised against a *seeded mutation* — the
+disciplined code from the real tree with the violation re-introduced —
+plus a passing fixture of the disciplined spelling. The suite also
+pins the engine's operational budget (cold/warm analysis time on the
+real ``src/`` tree) and the self-check that the tree stays clean modulo
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.lint import (
+    AnalysisCache,
+    Baseline,
+    Finding,
+    PROJECT_RULES,
+    analyze_paths,
+    load_project,
+)
+from repro.lint.baseline import DEFAULT_BASELINE_PATH
+from repro.lint.callgraph import build_callgraph
+from repro.lint.cli import main as lint_main, render_sarif
+from repro.lint.dataflow import (
+    LABEL_UNORDERED,
+    build_cfg,
+    build_summaries,
+    reaching_definitions,
+)
+from repro.lint.engine import _dedup
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FilePair = Tuple[str, str]
+
+
+def analyze(
+    files: Sequence[FilePair],
+    select: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> List[Finding]:
+    """Run the full engine over in-memory fixtures."""
+    result = analyze_paths(
+        [path for path, _ in files], select=select, files=list(files), **kwargs
+    )
+    return result.findings
+
+
+def codes(findings: Sequence[Finding]) -> List[str]:
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# CACHE001 — experiment entry purity over the call graph
+# ---------------------------------------------------------------------------
+
+_REGISTRY_SRC = 'REGISTRY = {"demo": "repro.experiments.demo:run_demo"}\n'
+
+
+def _experiment(body: str) -> List[FilePair]:
+    return [
+        ("src/repro/experiments/__init__.py", _REGISTRY_SRC),
+        ("src/repro/experiments/demo.py", body),
+    ]
+
+
+def test_cache001_catches_env_read_in_entry():
+    findings = analyze(
+        _experiment(
+            "import os\n\ndef run_demo(seed=0):\n    return os.environ.get('HOME')\n"
+        ),
+        select=["CACHE001"],
+    )
+    assert codes(findings) != [] and all(c == "CACHE001" for c in codes(findings))
+    assert "os.environ" in findings[0].message
+
+
+def test_cache001_catches_impurity_via_transitive_helper():
+    findings = analyze(
+        _experiment(
+            "import time\n"
+            "\n"
+            "def _helper():\n"
+            "    return time.perf_counter()\n"
+            "\n"
+            "def run_demo(seed=0):\n"
+            "    return _helper()\n"
+        ),
+        select=["CACHE001"],
+    )
+    assert "CACHE001" in codes(findings)
+    assert "reached via" in findings[0].message
+    assert "wall clock" in findings[0].message
+
+
+def test_cache001_catches_module_level_mutable_state():
+    findings = analyze(
+        _experiment(
+            "_CACHE = {}\n"
+            "\n"
+            "def run_demo(seed=0):\n"
+            "    _CACHE[seed] = 1\n"
+            "    return _CACHE\n"
+        ),
+        select=["CACHE001"],
+    )
+    assert "CACHE001" in codes(findings)
+    assert "mutable state" in findings[0].message
+
+
+def test_cache001_passes_pure_entry():
+    findings = analyze(
+        _experiment(
+            "def _shape(seed):\n"
+            "    return seed * 3\n"
+            "\n"
+            "def run_demo(seed=0):\n"
+            "    return _shape(seed)\n"
+        ),
+        select=["CACHE001"],
+    )
+    assert findings == []
+
+
+def test_cache001_ignores_impurity_outside_entry_reachability():
+    # The impure function exists but no registry entry reaches it.
+    findings = analyze(
+        _experiment(
+            "import os\n"
+            "\n"
+            "def run_demo(seed=0):\n"
+            "    return seed\n"
+            "\n"
+            "def unregistered_tool():\n"
+            "    return os.environ.get('HOME')\n"
+        ),
+        select=["CACHE001"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# TAG002 — tag-math parity (eq. 4 / eq. 37 only in repro.core.tagmath)
+# ---------------------------------------------------------------------------
+
+
+def _one_module(source: str, path: str = "src/repro/core/sched.py") -> List[FilePair]:
+    return [(path, source)]
+
+
+def test_tag002_catches_inline_eq4():
+    findings = analyze(
+        _one_module(
+            "def enqueue(v, last_finish, length, rate):\n"
+            "    return max(v, last_finish) + length / rate\n"
+        ),
+        select=["TAG002"],
+    )
+    assert codes(findings) == ["TAG002"]
+    assert "eq. 4" in findings[0].message
+
+
+def test_tag002_catches_split_eq4_via_reaching_definitions():
+    # The max() and the + length/rate are statements apart; only the
+    # dataflow connection (reaching definitions) ties them together.
+    findings = analyze(
+        _one_module(
+            "def enqueue(v, last_finish, length, rate):\n"
+            "    start = max(v, last_finish)\n"
+            "    if rate <= 0:\n"
+            "        raise ValueError(rate)\n"
+            "    finish = start + length / rate\n"
+            "    return start, finish\n"
+        ),
+        select=["TAG002"],
+    )
+    assert codes(findings) == ["TAG002"]
+    assert "start" in findings[0].message
+
+
+def test_tag002_catches_inline_eq37():
+    findings = analyze(
+        _one_module(
+            "def expected_arrival(arrival, prev_eat, prev_service):\n"
+            "    return max(arrival, prev_eat + prev_service)\n"
+        ),
+        select=["TAG002"],
+    )
+    assert codes(findings) == ["TAG002"]
+    assert "eq. 37" in findings[0].message
+
+
+def test_tag002_exempts_the_tagmath_kernel_itself():
+    findings = analyze(
+        _one_module(
+            "def start_finish(v, last_finish, length, weight, rate=None):\n"
+            "    start = max(v, last_finish)\n"
+            "    return start, start + length / weight\n",
+            path="src/repro/core/tagmath.py",
+        ),
+        select=["TAG002"],
+    )
+    assert findings == []
+
+
+def test_tag002_passes_disciplined_call():
+    findings = analyze(
+        _one_module(
+            "from repro.core.tagmath import start_finish\n"
+            "\n"
+            "def enqueue(v, last_finish, length, rate):\n"
+            "    return start_finish(v, last_finish, length, rate, None)\n"
+        ),
+        select=["TAG002"],
+    )
+    assert findings == []
+
+
+def test_tag002_passes_unrelated_max_plus_division():
+    # max() whose reaching definition never feeds an add, and adds
+    # without a connected max: no re-derivation.
+    findings = analyze(
+        _one_module(
+            "def f(xs, n):\n"
+            "    top = max(xs[0], xs[1])\n"
+            "    mean = sum(xs) / n\n"
+            "    return top, mean\n"
+        ),
+        select=["TAG002"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# DET006 — interprocedural taint into scheduling sinks
+# ---------------------------------------------------------------------------
+
+
+def test_det006_catches_wallclock_through_helper_into_call_at():
+    findings = analyze(
+        _one_module(
+            "import time\n"
+            "\n"
+            "def _stamp():\n"
+            "    return time.time()\n"
+            "\n"
+            "def schedule(sim, handler):\n"
+            "    t = _stamp()\n"
+            "    sim.call_at(t, handler)\n",
+            path="src/repro/simulation/sched.py",
+        ),
+        select=["DET006"],
+    )
+    assert "DET006" in codes(findings)
+    assert "wallclock" in findings[0].message
+    assert "call_at" in findings[0].message
+
+
+def test_det006_catches_unordered_iteration_across_calls():
+    findings = analyze(
+        _one_module(
+            "def _pick(flows):\n"
+            "    for f in set(flows):\n"
+            "        return f\n"
+            "\n"
+            "def arm(sim, flows, handler):\n"
+            "    sim.call_at(_pick(flows), handler)\n",
+            path="src/repro/simulation/sched.py",
+        ),
+        select=["DET006"],
+    )
+    assert "DET006" in codes(findings)
+    assert LABEL_UNORDERED in findings[0].message
+
+
+def test_det006_sorted_launders_iteration_order():
+    findings = analyze(
+        _one_module(
+            "def _pick(flows):\n"
+            "    for f in sorted(set(flows)):\n"
+            "        return f\n"
+            "\n"
+            "def arm(sim, flows, handler):\n"
+            "    sim.call_at(_pick(flows), handler)\n",
+            path="src/repro/simulation/sched.py",
+        ),
+        select=["DET006"],
+    )
+    assert findings == []
+
+
+def test_det006_passes_simulation_derived_time():
+    findings = analyze(
+        _one_module(
+            "def _next(now, step):\n"
+            "    return now + step\n"
+            "\n"
+            "def schedule(sim, handler):\n"
+            "    sim.call_at(_next(sim.now, 0.5), handler)\n",
+            path="src/repro/simulation/sched.py",
+        ),
+        select=["DET006"],
+    )
+    assert findings == []
+
+
+def test_det006_exempts_benchmark_wallclock():
+    findings = analyze(
+        _one_module(
+            "import time\n"
+            "\n"
+            "def arm(sim, handler):\n"
+            "    sim.call_at(time.time(), handler)\n",
+            path="benchmarks/bench_sched.py",
+        ),
+        select=["DET006"],
+    )
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Engine plumbing: project loader, call graph, CFG/dataflow primitives
+# ---------------------------------------------------------------------------
+
+
+def test_project_loader_resolves_import_aliases():
+    project = load_project(
+        ["src"],
+        files=[
+            ("src/repro/util.py", "def helper():\n    return 1\n"),
+            (
+                "src/repro/user.py",
+                "from repro.util import helper as h\n\ndef go():\n    return h()\n",
+            ),
+        ],
+    )
+    graph = build_callgraph(project)
+    assert "repro.util.helper" in graph.edges.get("repro.user.go", set())
+
+
+def test_callgraph_resolves_method_calls_on_annotated_receivers():
+    project = load_project(
+        ["src"],
+        files=[
+            (
+                "src/repro/m.py",
+                "class Sched:\n"
+                "    def enqueue(self, p):\n"
+                "        return p\n"
+                "\n"
+                "def drive(s: Sched, p):\n"
+                "    return s.enqueue(p)\n",
+            ),
+        ],
+    )
+    graph = build_callgraph(project)
+    assert "repro.m.Sched.enqueue" in graph.edges.get("repro.m.drive", set())
+
+
+def test_cfg_and_reaching_definitions_track_branches():
+    import ast
+
+    tree = ast.parse(
+        "def f(a):\n"
+        "    x = 1\n"
+        "    if a:\n"
+        "        x = 2\n"
+        "    return x\n"
+    )
+    fn = tree.body[0]
+    cfg = build_cfg(fn.body)
+    envs = reaching_definitions(cfg)
+    ret_index = next(
+        i for i, node in enumerate(cfg.nodes) if isinstance(node.stmt, ast.Return)
+    )
+    # Both definitions of x (line 2 and line 4) reach the return.
+    assert envs[ret_index]["x"] == frozenset({"2", "4"})
+
+
+def test_taint_summaries_propagate_through_returns():
+    project = load_project(
+        ["src"],
+        files=[
+            (
+                "src/repro/t.py",
+                "import time\n"
+                "\n"
+                "def a():\n"
+                "    return time.time()\n"
+                "\n"
+                "def b():\n"
+                "    return a()\n",
+            ),
+        ],
+    )
+    table = build_summaries(project)
+    assert "wallclock" in table.summaries["repro.t.a"].returns
+    assert "wallclock" in table.summaries["repro.t.b"].returns
+
+
+# ---------------------------------------------------------------------------
+# Dedup, SYNTAX columns, output formats
+# ---------------------------------------------------------------------------
+
+
+def test_dedup_drops_same_path_line_rule():
+    first = Finding("DET006", "from module pass", "a.py", 3, 0)
+    dup = Finding("DET006", "same spot, later pass", "a.py", 3, 8)
+    kept = _dedup([first, dup])
+    assert kept == [first]
+    # Different rule at the same location survives.
+    other = Finding("DET003", "different rule", "a.py", 3, 0)
+    assert _dedup([first, other]) == [first, other]
+
+
+def test_syntax_findings_carry_column_in_all_formats(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    base = [str(bad), "--no-cache", "--no-baseline"]
+
+    assert lint_main(base) == 1
+    text = capsys.readouterr().out
+    first = text.splitlines()[0]
+    # path:line:col: SYNTAX ... — the col field is a real offset.
+    col = int(first.split(":")[2])
+    assert col > 0 and "SYNTAX" in first
+
+    assert lint_main(base + ["--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "SYNTAX"
+    assert payload["findings"][0]["col"] == col
+
+    assert lint_main(base + ["--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    result = sarif["runs"][0]["results"][0]
+    assert result["ruleId"] == "SYNTAX"
+    assert result["level"] == "error"
+    assert result["locations"][0]["physicalLocation"]["region"][
+        "startColumn"
+    ] == col + 1
+
+
+def test_sarif_document_shape():
+    findings = [
+        Finding("DET001", "unseeded rng", "src/x.py", 4, 2),
+        Finding("CACHE001", "env read", "src/y.py", 9, 0),
+    ]
+    sarif = json.loads(render_sarif(findings))
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted({"DET001", "CACHE001"})
+    for res, finding in zip(run["results"], findings):
+        assert res["ruleId"] == finding.rule
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == finding.path
+        assert loc["region"]["startLine"] == finding.line
+        assert loc["region"]["startColumn"] == finding.col + 1
+        assert rule_ids[res["ruleIndex"]] == res["ruleId"]
+
+
+# ---------------------------------------------------------------------------
+# Changed-file scoping
+# ---------------------------------------------------------------------------
+
+
+def test_changed_files_scope_report_but_not_analysis():
+    files = _experiment(
+        "import os\n\ndef run_demo(seed=0):\n    return os.environ.get('HOME')\n"
+    )
+    entry_path = str(Path("src/repro/experiments/demo.py").resolve())
+    registry_path = str(Path("src/repro/experiments/__init__.py").resolve())
+
+    scoped = analyze(files, select=["CACHE001"], changed_files={entry_path})
+    assert "CACHE001" in codes(scoped)
+
+    # Only the registry module "changed": the finding (in demo.py) is
+    # scoped out of the report even though the analysis still saw the
+    # whole project.
+    other = analyze(files, select=["CACHE001"], changed_files={registry_path})
+    assert other == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline workflow
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_subtracts_known_findings_and_reports_new_ones():
+    files = _one_module(
+        "def enqueue(v, last_finish, length, rate):\n"
+        "    return max(v, last_finish) + length / rate\n"
+    )
+    raw = analyze(files, select=["TAG002"])
+    assert codes(raw) == ["TAG002"]
+
+    baseline = Baseline.from_findings(raw)
+    assert analyze(files, select=["TAG002"], baseline=baseline) == []
+    assert baseline.unused() == []
+
+    # A second occurrence of the same violation is NEW (count exceeded).
+    files2 = _one_module(
+        "def enqueue(v, last_finish, length, rate):\n"
+        "    return max(v, last_finish) + length / rate\n"
+        "\n"
+        "def enqueue2(v, last_finish, length, rate):\n"
+        "    return max(v, last_finish) + length / rate\n"
+    )
+    leftover = analyze(files2, select=["TAG002"], baseline=baseline)
+    assert codes(leftover) == ["TAG002"]
+
+
+def test_baseline_round_trips_and_flags_stale_entries(tmp_path):
+    baseline = Baseline.from_findings(
+        [Finding("TAG002", "gone finding", "src/old.py", 7, 0)]
+    )
+    path = tmp_path / "baseline.json"
+    baseline.write(str(path))
+    loaded = Baseline.load(str(path))
+    assert loaded is not None
+    assert loaded.filter([]) == []
+    assert loaded.unused() == [("src/old.py", "TAG002", "gone finding")]
+
+
+# ---------------------------------------------------------------------------
+# Analysis cache
+# ---------------------------------------------------------------------------
+
+
+def test_project_cache_hit_on_unchanged_tree(tmp_path):
+    cache = AnalysisCache(str(tmp_path / "cache"))
+    files = _one_module(
+        "def enqueue(v, last_finish, length, rate):\n"
+        "    return max(v, last_finish) + length / rate\n"
+    )
+    cold = analyze_paths(
+        [p for p, _ in files], select=["TAG002"], files=files, cache=cache
+    )
+    assert not cold.project_cache_hit
+    warm = analyze_paths(
+        [p for p, _ in files], select=["TAG002"], files=files, cache=cache
+    )
+    assert warm.project_cache_hit
+    assert warm.findings == cold.findings
+
+
+def test_cache_invalidated_by_source_or_ruleset_change(tmp_path):
+    cache = AnalysisCache(str(tmp_path / "cache"))
+    files = _one_module("x = 1\n")
+    analyze_paths([p for p, _ in files], files=files, cache=cache)
+    edited = _one_module("x = 2\n")
+    assert not analyze_paths(
+        [p for p, _ in edited], files=edited, cache=cache
+    ).project_cache_hit
+    assert not analyze_paths(
+        [p for p, _ in files], select=["TAG002"], files=files, cache=cache
+    ).project_cache_hit
+
+
+# ---------------------------------------------------------------------------
+# Operational budget + self-check on the real tree
+# ---------------------------------------------------------------------------
+
+
+def test_full_analysis_meets_time_budget(tmp_path):
+    src = str(REPO_ROOT / "src")
+    cache = AnalysisCache(str(tmp_path / "cache"))
+
+    t0 = time.perf_counter()
+    cold = analyze_paths([src], cache=cache)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = analyze_paths([src], cache=cache)
+    warm_s = time.perf_counter() - t0
+
+    assert warm.project_cache_hit
+    assert warm.raw_findings == cold.raw_findings
+    assert cold_s < 10.0, f"cold full analysis took {cold_s:.2f}s (budget 10s)"
+    assert warm_s < 2.0, f"warm full analysis took {warm_s:.2f}s (budget 2s)"
+
+
+def test_source_tree_clean_or_exactly_baselined(monkeypatch):
+    """src/ has no findings beyond the committed baseline — and the
+    baseline holds no stale entries (it only ever ratchets down)."""
+    # The baseline stores repo-relative paths, so analyze like the CLI
+    # does: from the repo root.
+    monkeypatch.chdir(REPO_ROOT)
+    baseline = Baseline.load(DEFAULT_BASELINE_PATH)
+    result = analyze_paths(["src"], baseline=baseline)
+    assert result.findings == [], (
+        "new findings not covered by the baseline:\n"
+        + "\n".join(f.format() for f in result.findings)
+    )
+    if baseline is not None:
+        assert baseline.unused() == [], (
+            "stale baseline entries (fixed findings still listed): "
+            f"{baseline.unused()}"
+        )
+
+
+def test_every_project_rule_is_exercised_here():
+    """Registry sweep: adding a project rule without fixtures fails."""
+    exercised = {"CACHE001", "TAG002", "DET006"}
+    assert set(PROJECT_RULES) == exercised

@@ -21,6 +21,8 @@ STRICT_PACKAGES = [
     "src/repro/core",
     "src/repro/simulation",
     "src/repro/lint",
+    "src/repro/metrics",
+    "src/repro/faults",
 ]
 
 
