@@ -14,7 +14,7 @@ import pytest
 
 from conftest import save_result
 from repro.analysis.stats import mean
-from repro.core import SFQ, DelayEDD, JitterEDD, Packet
+from repro.core import Packet, make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link
 from repro.simulation import Simulator
@@ -26,7 +26,7 @@ from repro.traffic import CBRSource
 # ----------------------------------------------------------------------
 def _run_buffer_policy(policy: str):
     sim = Simulator()
-    sfq = SFQ(auto_register=False)
+    sfq = make_scheduler("SFQ", auto_register=False)
     sfq.add_flow("hog", 1000.0)
     sfq.add_flow("meek", 1000.0)
     link = Link(
@@ -75,9 +75,9 @@ def test_ablation_buffer_policy(benchmark):
 def _run_edd(work_conserving: bool):
     sim = Simulator()
     if work_conserving:
-        edd = DelayEDD()
+        edd = make_scheduler("DelayEDD", auto_register=False)
     else:
-        edd = JitterEDD()
+        edd = make_scheduler("JitterEDD", auto_register=False)
     edd.add_flow_with_deadline("rt", rate=500.0, deadline=1.0)
     edd.add_flow_with_deadline("bulk", rate=1500.0, deadline=4.0)
     link = Link(sim, edd, ConstantCapacity(2000.0))

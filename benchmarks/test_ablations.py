@@ -15,7 +15,7 @@ from conftest import save_result
 from repro.analysis.delay_bounds import hierarchical_fc_params, sfq_delay_bound
 from repro.analysis.fairness import empirical_fairness_measure
 from repro.analysis.stats import mean
-from repro.core import SFQ, WFQ, HierarchicalScheduler, Packet, TieBreak
+from repro.core import HierarchicalScheduler, Packet, TieBreak, make_scheduler
 from repro.experiments.harness import ExperimentResult
 from repro.servers import ConstantCapacity, Link, TwoRateSquareWave
 from repro.simulation import Simulator
@@ -26,7 +26,7 @@ from repro.simulation import Simulator
 # ----------------------------------------------------------------------
 def _run_tiebreak(rule):
     sim = Simulator()
-    sched = SFQ(tie_break=rule, auto_register=False)
+    sched = make_scheduler("SFQ", tie_break=rule, auto_register=False)
     sched.add_flow("light", 50.0)
     for i in range(9):
         sched.add_flow(f"heavy{i}", 100.0)
@@ -71,7 +71,7 @@ def test_ablation_tiebreak(benchmark):
 def _run_wfq_capacity(assumed: float) -> float:
     capacity = TwoRateSquareWave(2000.0, 5.0, 0.0, 5.0)  # mean 1000
     sim = Simulator()
-    sched = WFQ(assumed_capacity=assumed, auto_register=False)
+    sched = make_scheduler("WFQ", capacity=assumed, auto_register=False)
     sched.add_flow("f", 500.0)
     sched.add_flow("m", 500.0)
     link = Link(sim, sched, capacity)

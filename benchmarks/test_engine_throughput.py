@@ -48,12 +48,12 @@ def test_event_dispatch_cost(benchmark, pending):
 
 def test_end_to_end_simulation_rate(benchmark):
     """Packets per wall-second through a full SFQ link pipeline."""
-    from repro.core import SFQ, Packet
+    from repro.core import Packet, make_scheduler
     from repro.servers import ConstantCapacity, Link
 
     def run_chunk():
         sim = Simulator()
-        sched = SFQ(auto_register=False)
+        sched = make_scheduler("SFQ", auto_register=False)
         for i in range(8):
             sched.add_flow(f"f{i}", 1000.0)
         link = Link(sim, sched, ConstantCapacity(8000.0), tracer=NullTracer())

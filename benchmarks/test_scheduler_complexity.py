@@ -22,21 +22,21 @@ import random
 
 import pytest
 
-from repro.core import DRR, FIFO, SCFQ, SFQ, FairAirport, VirtualClock, WFQ, Packet
+from repro.core import Packet, make_scheduler
 from repro.experiments.bench import _per_packet_seconds
 
 FLOW_COUNTS = [16, 256]
 
 MAKERS = {
-    "SFQ": lambda: SFQ(auto_register=False),
-    "SCFQ": lambda: SCFQ(auto_register=False),
-    "WFQ": lambda: WFQ(assumed_capacity=1e6, auto_register=False),
-    "VirtualClock": lambda: VirtualClock(auto_register=False),
-    "DRR": lambda: DRR(quantum_scale=1000.0, auto_register=False),
-    "FIFO": lambda: FIFO(auto_register=False),
+    "SFQ": lambda: make_scheduler("SFQ", auto_register=False),
+    "SCFQ": lambda: make_scheduler("SCFQ", auto_register=False),
+    "WFQ": lambda: make_scheduler("WFQ", capacity=1e6, auto_register=False),
+    "VirtualClock": lambda: make_scheduler("VirtualClock", auto_register=False),
+    "DRR": lambda: make_scheduler("DRR", quantum_scale=1000.0, auto_register=False),
+    "FIFO": lambda: make_scheduler("FIFO", auto_register=False),
     # Appendix B claims FA's complexity matches dynamic-priority
     # algorithms (O(log Q)); the release heap makes that true here too.
-    "FairAirport": lambda: FairAirport(auto_register=False),
+    "FairAirport": lambda: make_scheduler("FairAirport", auto_register=False),
 }
 
 

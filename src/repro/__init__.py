@@ -27,9 +27,9 @@ Subpackages
 
 Quickstart
 ----------
->>> from repro import Simulator, SFQ, ConstantCapacity, Link, Packet
+>>> from repro import Simulator, make_scheduler, ConstantCapacity, Link, Packet
 >>> sim = Simulator()
->>> sfq = SFQ()
+>>> sfq = make_scheduler("SFQ")
 >>> _ = sfq.add_flow("audio", weight=64_000.0)
 >>> _ = sfq.add_flow("video", weight=1_000_000.0)
 >>> link = Link(sim, sfq, ConstantCapacity(1_500_000.0))
@@ -56,7 +56,9 @@ from repro.core import (
     VirtualClock,
     available_schedulers,
     bits,
+    describe_scheduler,
     kbps,
+    list_schedulers,
     make_scheduler,
     mbps,
     scheduler_spec,
@@ -88,6 +90,8 @@ __all__ = [
     # construction API
     "make_scheduler",
     "available_schedulers",
+    "list_schedulers",
+    "describe_scheduler",
     "scheduler_spec",
     # metrics
     "MetricsSession",

@@ -4,11 +4,22 @@ The primary contribution is :class:`repro.core.sfq.SFQ`. Baselines:
 WFQ/PGPS, FQS, SCFQ, DRR, WRR, Virtual Clock, Delay EDD, FIFO, and the
 Fair Airport composite of Appendix B. :class:`HierarchicalScheduler`
 implements Section 3's link-sharing tree over any of them.
+
+Since the PIFO core, the tag disciplines are rank functions
+(:mod:`repro.core.pifo`) on two shared engines —
+:class:`~repro.core.pifo.PifoScheduler` (object backend) and
+:class:`~repro.core.arrayheap.ArrayPifoScheduler` (slab backend) — plus
+the :class:`~repro.core.pifo.SpPifoScheduler` band approximation. The
+named discipline classes remain importable as deprecation shims;
+construct through :func:`make_scheduler`.
 """
 
 from repro.core.arrayheap import (
+    ArrayDelayEDD,
     ArrayFQS,
     ArrayHeadHeapScheduler,
+    ArrayLSTF,
+    ArrayPifoScheduler,
     ArraySCFQ,
     ArraySFQ,
     ArrayVirtualClock,
@@ -26,11 +37,28 @@ from repro.core.headheap import HeadHeapScheduler
 from repro.core.hierarchical import HierarchicalScheduler, SchedClass
 from repro.core.jitter_edd import JitterEDD
 from repro.core.packet import Packet, bits, kbps, mbps
+from repro.core.pifo import (
+    LSTF,
+    DelayEddRank,
+    FqsRank,
+    LstfRank,
+    PifoScheduler,
+    RankFlow,
+    RankFn,
+    ScfqRank,
+    SfqRank,
+    SpPifoScheduler,
+    VcRank,
+    Wf2qRank,
+    WfqRank,
+)
 from repro.core.registry import (
     ParamSpec,
     SchedulerSpec,
     available_schedulers,
     default_backend,
+    describe_scheduler,
+    list_schedulers,
     make_scheduler,
     register_scheduler,
     scheduler_spec,
@@ -64,14 +92,30 @@ __all__ = [
     "DelayEDD",
     "JitterEDD",
     "FairAirport",
+    "LSTF",
     "HierarchicalScheduler",
     "SchedClass",
     "bits",
     "kbps",
     "mbps",
+    # PIFO core (repro.core.pifo)
+    "PifoScheduler",
+    "SpPifoScheduler",
+    "RankFn",
+    "RankFlow",
+    "SfqRank",
+    "ScfqRank",
+    "WfqRank",
+    "FqsRank",
+    "Wf2qRank",
+    "VcRank",
+    "DelayEddRank",
+    "LstfRank",
     # construction API (repro.core.registry)
     "make_scheduler",
     "available_schedulers",
+    "list_schedulers",
+    "describe_scheduler",
     "scheduler_spec",
     "register_scheduler",
     "SchedulerSpec",
@@ -83,12 +127,15 @@ __all__ = [
     "FlowView",
     "SlabFlowMapping",
     "ArrayHeadHeapScheduler",
+    "ArrayPifoScheduler",
     "ArraySFQ",
     "ArraySCFQ",
     "ArrayWFQ",
     "ArrayFQS",
     "ArrayWF2Q",
     "ArrayVirtualClock",
+    "ArrayDelayEDD",
+    "ArrayLSTF",
 ]
 
 #: Back-compat name->class map. Prefer :func:`make_scheduler`, which
@@ -106,4 +153,5 @@ ALGORITHMS = {
     "DelayEDD": DelayEDD,
     "JitterEDD": JitterEDD,
     "FairAirport": FairAirport,
+    "LSTF": LSTF,
 }

@@ -43,11 +43,21 @@ from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.base import Scheduler, SchedulerError, TieBreak
-from repro.core.gps import GPSVirtualClock
 from repro.core.headheap import TieBreakRule
 from repro.core.packet import Packet
+from repro.core.pifo import (
+    DelayEddRank,
+    FqsRank,
+    LstfRank,
+    RankFn,
+    ScfqRank,
+    SfqRank,
+    VcRank,
+    Wf2qRank,
+    WfqRank,
+    warn_direct_construction,
+)
 from repro.core.slab import FlowSlab, FlowView, SlabFlowMapping
-from repro.core.tagmath import start_finish
 
 #: 5-slot mutable heap entry ``[key, tie_key, uid, packet, slot]``;
 #: ``entry[3] is None`` marks lazy invalidation (same protocol as the
@@ -56,12 +66,15 @@ SlotHeapEntry = List[Any]
 
 __all__ = [
     "ArrayHeadHeapScheduler",
+    "ArrayPifoScheduler",
     "ArraySFQ",
     "ArraySCFQ",
     "ArrayWFQ",
     "ArrayFQS",
     "ArrayWF2Q",
     "ArrayVirtualClock",
+    "ArrayDelayEDD",
+    "ArrayLSTF",
 ]
 
 
@@ -341,19 +354,26 @@ class ArrayHeadHeapScheduler(Scheduler):
         )
 
 
-class ArraySFQ(ArrayHeadHeapScheduler):
-    """Start-time Fair Queuing on the slab layout (paper Section 2).
+class ArrayPifoScheduler(ArrayHeadHeapScheduler):
+    """Slab-backed PIFO engine driven by a :class:`~repro.core.pifo.RankFn`.
 
-    Tag math is expression-for-expression the object backend's
-    (:class:`repro.core.sfq.SFQ`); only the state addressing differs.
+    The performance twin of :class:`repro.core.pifo.PifoScheduler`: the
+    same rank function drives both backends through the shared
+    :class:`~repro.core.pifo.RankFlow` surface — here a cached
+    :class:`~repro.core.slab.FlowView` per slot, so the per-packet rank
+    call costs no allocation. Tag math therefore runs expression-for-
+    expression identically on both backends (gated by the
+    trace-equivalence suite).
     """
 
-    __slots__ = ("v", "_max_served_finish")
+    __slots__ = ("_rank", "_eligibility", "_rank_ties", "_pending_tie", "_views")
 
-    algorithm = "SFQ"
+    algorithm = "PIFO"
 
     def __init__(
         self,
+        rank_fn: RankFn,
+        *,
         tie_break: TieBreakRule = TieBreak.fifo,
         auto_register: bool = True,
         default_weight: float = 1.0,
@@ -365,258 +385,116 @@ class ArraySFQ(ArrayHeadHeapScheduler):
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-        self.v = 0.0  # system virtual time v(t)
-        self._max_served_finish = 0.0
+        self._rank = rank_fn
+        self._eligibility = bool(rank_fn.eligibility)
+        self._rank_ties = bool(rank_fn.provides_tie)
+        self._pending_tie: Tuple[Any, ...] = ()
+        if self._rank_ties:
+            self._fifo_ties = False
+            self._tie_break = self._rank_tie
+        #: slot -> cached FlowView; views read through the slab, so a
+        #: recycled slot's view is automatically current.
+        self._views: List[FlowView] = []
+        rank_fn.bind(self)
 
-    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
-        slab = self._slab
-        # Byte-identical to the object backend by construction: both
-        # call repro.core.tagmath.start_finish (exact-float contract in
-        # its module docstring).
-        start, finish = start_finish(
-            self.v, slab.last_finish[slot], packet.length,
-            slab.weight[slot], packet.rate,
+    @property
+    def rank_fn(self) -> RankFn:
+        """The rank function driving this engine."""
+        return self._rank
+
+    def _rank_tie(self, state: Any, packet: Packet) -> Tuple[Any, ...]:
+        # Tie produced by the rank function during rank() (arrival).
+        return self._pending_tie
+
+    def _view(self, slot: int) -> FlowView:
+        views = self._views
+        n = len(views)
+        if slot >= n:
+            slab = self._slab
+            views.extend(FlowView(slab, s) for s in range(n, slot + 1))
+        return views[slot]
+
+    def __getattr__(self, name: str) -> Any:
+        # Forward the rank's exported state (scheduler.virtual_time,
+        # .gps, .deadlines, ...); see PifoScheduler.__getattr__.
+        try:
+            rank = object.__getattribute__(self, "_rank")
+        except AttributeError:
+            raise AttributeError(name) from None
+        if name in rank.exports:
+            return getattr(rank, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        slab.last_finish[slot] = finish
-        return start
+
+    # ------------------------------------------------------------------
+    # ArrayHeadHeapScheduler hooks, delegated to the rank function
+    # ------------------------------------------------------------------
+    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
+        key, tie = self._rank.rank(self._view(slot), packet, now)
+        if self._rank_ties:
+            self._pending_tie = tie
+        return key
 
     def _head_key(self, packet: Packet) -> float:
-        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
+        return self._rank.head_key(packet)
 
     def _on_dequeued_slot(self, slot: int, packet: Packet) -> None:
-        # Rule 2: v(t) is the start tag of the packet in service.
-        self.v = packet.start_tag  # type: ignore[assignment]  # stamped on enqueue
-        finish = packet.finish_tag
-        if finish is not None and finish > self._max_served_finish:
-            self._max_served_finish = finish
+        self._rank.on_dequeue(self._view(slot), packet)
 
     def on_service_complete(self, packet: Packet, now: float) -> None:
         """Base dispatch flattened into one frame (hot path)."""
         if self.in_service is packet:
             self.in_service = None
         if self._backlog_packets == 0:
-            # End of busy period: v is set to the maximum finish tag
-            # assigned to any packet serviced by now (rule 2).
-            self.v = max(self.v, self._max_served_finish)
+            self._rank.on_idle()
 
     def _do_service_complete(self, packet: Packet, now: float) -> None:
         # Unreached (on_service_complete is overridden); kept so the
         # subclass still satisfies the template-method contract.
         if self._backlog_packets == 0:
-            self.v = max(self.v, self._max_served_finish)
+            self._rank.on_idle()
 
     def _do_discard_tail_slot(self, slot: int) -> Optional[Packet]:
+        if not self._rank.supports_discard:
+            return super()._do_discard_tail_slot(slot)  # raises, naming the algorithm
         packet = self._pop_tail(slot)
-        slab = self._slab
-        queue = slab.queues[slot]
-        # Re-chain future arrivals off the new tail so no virtual-time
-        # gap is left where the discarded packet sat.
-        tail = queue[-1] if queue else None
-        slab.last_finish[slot] = (
-            tail.finish_tag if tail is not None else packet.start_tag
-        )
+        self._rank.on_discard(self._view(slot), packet)
         return packet
 
-    @property
-    def virtual_time(self) -> float:
-        """Current system virtual time ``v(t)``."""
-        return self.v
-
-
-class ArraySCFQ(ArrayHeadHeapScheduler):
-    """Self-Clocked Fair Queuing on the slab layout (Golestani 1994)."""
-
-    __slots__ = ("v", "_max_served_finish")
-
-    algorithm = "SCFQ"
-
-    def __init__(
-        self,
-        tie_break: TieBreakRule = TieBreak.fifo,
-        auto_register: bool = True,
-        default_weight: float = 1.0,
-        debug_checks: bool = False,
-    ) -> None:
-        super().__init__(
-            tie_break=tie_break,
-            auto_register=auto_register,
-            default_weight=default_weight,
-            debug_checks=debug_checks,
-        )
-        self.v = 0.0
-        self._max_served_finish = 0.0
-
-    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
-        slab = self._slab
-        start, finish = start_finish(
-            self.v, slab.last_finish[slot], packet.length,
-            slab.weight[slot], packet.rate,
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        slab.last_finish[slot] = finish
-        return finish
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    def _on_dequeued_slot(self, slot: int, packet: Packet) -> None:
-        # Self-clocking: v(t) approximates GPS round number with the
-        # finish tag of the packet in service.
-        finish: float = packet.finish_tag  # type: ignore[assignment]  # stamped on enqueue
-        self.v = finish
-        if finish > self._max_served_finish:
-            self._max_served_finish = finish
-
-    def _do_service_complete(self, packet: Packet, now: float) -> None:
-        if self._backlog_packets == 0:
-            self.v = max(self.v, self._max_served_finish)
-
-    def _do_discard_tail_slot(self, slot: int) -> Optional[Packet]:
-        packet = self._pop_tail(slot)
-        slab = self._slab
-        queue = slab.queues[slot]
-        tail = queue[-1] if queue else None
-        slab.last_finish[slot] = (
-            tail.finish_tag if tail is not None else packet.start_tag
-        )
-        return packet
-
-    @property
-    def virtual_time(self) -> float:
-        """Current system virtual time ``v(t)``."""
-        return self.v
-
-
-class ArrayWFQ(ArrayHeadHeapScheduler):
-    """Weighted Fair Queuing (PGPS) on the slab layout.
-
-    The fluid GPS tracker is shared with the object backend — it is
-    keyed by external flow id and amortized O(1) per packet, so it needs
-    no slot awareness.
-    """
-
-    __slots__ = ("gps",)
-
-    algorithm = "WFQ"
-
-    def __init__(
-        self,
-        assumed_capacity: float,
-        tie_break: TieBreakRule = TieBreak.fifo,
-        auto_register: bool = True,
-        default_weight: float = 1.0,
-        debug_checks: bool = False,
-    ) -> None:
-        super().__init__(
-            tie_break=tie_break,
-            auto_register=auto_register,
-            default_weight=default_weight,
-            debug_checks=debug_checks,
-        )
-        self.gps = GPSVirtualClock(assumed_capacity)
-
-    def _stamp(self, slot: int, packet: Packet, now: float) -> float:
-        """Shared WFQ/FQS arrival work: advance GPS, stamp both tags."""
-        slab = self._slab
-        v = self.gps.advance(now)
-        weight = slab.weight[slot]
-        start, finish = start_finish(
-            v, slab.last_finish[slot], packet.length, weight, packet.rate
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        slab.last_finish[slot] = finish
-        self.gps.on_arrival(packet.flow, weight, finish)
-        return start
-
-    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
-        self._stamp(slot, packet, now)
-        return packet.finish_tag  # type: ignore[return-value]  # stamped by _stamp
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    @property
-    def virtual_time(self) -> float:
-        """Fluid GPS virtual time at the last advance."""
-        return self.gps.v
-
-
-class ArrayFQS(ArrayWFQ):
-    """Fair Queuing based on Start-time on the slab layout."""
-
-    __slots__ = ()
-
-    algorithm = "FQS"
-
-    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
-        return self._stamp(slot, packet, now)
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
-
-
-class ArrayWF2Q(ArrayHeadHeapScheduler):
-    """Worst-case Fair Weighted Fair Queueing on the slab layout.
-
-    Mirrors :class:`repro.core.wf2q.WF2Q` including the work-conserving
-    fallback and its uid tie-break; only entry[4] changed meaning (slot
-    int instead of a FlowState), which the eligibility scan never reads.
-    """
-
-    __slots__ = ("gps",)
-
-    algorithm = "WF2Q"
-
-    def __init__(
-        self,
-        assumed_capacity: float,
-        auto_register: bool = True,
-        default_weight: float = 1.0,
-        debug_checks: bool = False,
-    ) -> None:
-        super().__init__(
-            auto_register=auto_register,
-            default_weight=default_weight,
-            debug_checks=debug_checks,
-        )
-        self.gps = GPSVirtualClock(assumed_capacity)
-
-    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
-        slab = self._slab
-        v = self.gps.advance(now)
-        weight = slab.weight[slot]
-        start, finish = start_finish(
-            v, slab.last_finish[slot], packet.length, weight, packet.rate
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        slab.last_finish[slot] = finish
-        self.gps.on_arrival(packet.flow, weight, finish)
-        return finish
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    def dequeue(self, now: float) -> Optional[Packet]:
+    # ------------------------------------------------------------------
+    # Eligibility-gated selection (WF²Q)
+    # ------------------------------------------------------------------
+    def dequeue(self, now: float) -> Optional[Packet]:  # lint: hot
         """Select the next packet for transmission; ``None`` when empty."""
-        packet = self._do_dequeue(now)
-        if packet is not None:
-            self._backlog_packets -= 1
-            self._backlog_bits -= packet.length
-            self.in_service = packet
-        return packet
+        if self._eligibility:
+            packet = self._do_dequeue(now)
+            if packet is not None:
+                self._backlog_packets -= 1
+                self._backlog_bits -= packet.length
+                self.in_service = packet
+            return packet
+        heap = self._head_heap
+        while heap:
+            entry = _heappop(heap)
+            if entry[3] is not None:
+                packet = self._consume_entry(entry)
+                self._rank.on_dequeue(self._view(entry[4]), packet)
+                self._backlog_packets -= 1
+                self._backlog_bits -= packet.length
+                self.in_service = packet
+                return packet
+        return None
 
     def _do_dequeue(self, now: float) -> Optional[Packet]:
+        if not self._eligibility:
+            return super()._do_dequeue(now)
         heap = self._head_heap
         while heap and heap[0][3] is None:
             heapq.heappop(heap)
         if not heap:
             return None
-        v = self.gps.advance(now)
+        v = self._rank.advance(now)
         # Pop ineligible flow heads aside until an eligible one surfaces.
         shelved: List[SlotHeapEntry] = []
         chosen: Optional[SlotHeapEntry] = None
@@ -642,31 +520,149 @@ class ArrayWF2Q(ArrayHeadHeapScheduler):
 
     def peek(self, now: float) -> Optional[Packet]:
         """Packet the next ``dequeue`` would return (no side effects)."""
+        if not self._eligibility:
+            return super().peek(now)
         heap = self._head_heap
         while heap and heap[0][3] is None:
             heapq.heappop(heap)
         if not heap:
             return None
-        v = self.gps.advance(now)
+        v = self._rank.advance(now)
         live = [e for e in heap if e[3] is not None]
         eligible = [e for e in live if e[3].start_tag <= v + 1e-12]
         if eligible:
             return min(eligible, key=lambda e: (e[3].finish_tag, e[2]))[3]
         return min(live, key=lambda e: (e[3].start_tag, e[2]))[3]
 
-    @property
-    def virtual_time(self) -> float:
-        """Fluid GPS virtual time at the last advance."""
-        return self.gps.v
+
+# ----------------------------------------------------------------------
+# Deprecation shims: the named slab-backed disciplines
+# ----------------------------------------------------------------------
 
 
-class ArrayVirtualClock(ArrayHeadHeapScheduler):
-    """Virtual Clock on the slab layout (Zhang 1990).
+class ArraySFQ(ArrayPifoScheduler):
+    """Start-time Fair Queuing on the slab layout (deprecation shim)."""
 
-    The EAT recursion (eq. 37) runs on the slab's ``eat_prev`` /
-    ``eat_service`` columns via :meth:`FlowSlab.eat_on_arrival` — the
-    same max/divide chain as :class:`repro.core.flow.EATTracker`.
-    """
+    __slots__ = ()
+
+    algorithm = "SFQ"
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(ArraySFQ, type(self))
+        super().__init__(
+            SfqRank(),
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+
+class ArraySCFQ(ArrayPifoScheduler):
+    """Self-Clocked Fair Queuing on the slab layout (deprecation shim)."""
+
+    __slots__ = ()
+
+    algorithm = "SCFQ"
+
+    def __init__(
+        self,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(ArraySCFQ, type(self))
+        super().__init__(
+            ScfqRank(),
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+
+class ArrayWFQ(ArrayPifoScheduler):
+    """Weighted Fair Queuing on the slab layout (deprecation shim)."""
+
+    __slots__ = ()
+
+    algorithm = "WFQ"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(ArrayWFQ, type(self))
+        super().__init__(
+            WfqRank(assumed_capacity),
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+
+class ArrayFQS(ArrayPifoScheduler):
+    """Fair Queuing based on Start-time on the slab layout (shim)."""
+
+    __slots__ = ()
+
+    algorithm = "FQS"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(ArrayFQS, type(self))
+        super().__init__(
+            FqsRank(assumed_capacity),
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+
+class ArrayWF2Q(ArrayPifoScheduler):
+    """Worst-case Fair WFQ on the slab layout (deprecation shim)."""
+
+    __slots__ = ()
+
+    algorithm = "WF2Q"
+
+    def __init__(
+        self,
+        assumed_capacity: float,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(ArrayWF2Q, type(self))
+        super().__init__(
+            Wf2qRank(assumed_capacity),
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+
+class ArrayVirtualClock(ArrayPifoScheduler):
+    """Virtual Clock on the slab layout (deprecation shim)."""
 
     __slots__ = ()
 
@@ -679,25 +675,64 @@ class ArrayVirtualClock(ArrayHeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(ArrayVirtualClock, type(self))
         super().__init__(
+            VcRank(),
             tie_break=tie_break,
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
 
-    def _tag_packet_slot(self, slot: int, packet: Packet, now: float) -> float:
-        slab = self._slab
-        rate = packet.rate
-        if rate is None:
-            rate = slab.weight[slot]
-        eat = slab.eat_on_arrival(slot, now, packet.length, rate)
-        stamp = eat + packet.length / rate
-        packet.timestamp = stamp
-        # Keep tags populated for uniform trace analysis.
-        packet.start_tag = eat
-        packet.finish_tag = stamp
-        return stamp
 
-    def _head_key(self, packet: Packet) -> float:
-        return packet.timestamp  # type: ignore[return-value]  # stamped on enqueue
+class ArrayDelayEDD(ArrayPifoScheduler):
+    """Delay Earliest-Due-Date on the slab layout.
+
+    New with the PIFO core: the EAT recursion (eq. 37) already lives in
+    slab columns, so DelayEDD's rank function runs unmodified over
+    :class:`~repro.core.slab.FlowView`. Flows must be registered with
+    ``add_flow_with_deadline`` (forwarded from the rank).
+    """
+
+    __slots__ = ()
+
+    algorithm = "DelayEDD"
+
+    def __init__(
+        self,
+        auto_register: bool = False,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(ArrayDelayEDD, type(self))
+        super().__init__(
+            DelayEddRank(),
+            tie_break=TieBreak.fifo,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )
+
+
+class ArrayLSTF(ArrayPifoScheduler):
+    """Least Slack Time First on the slab layout."""
+
+    __slots__ = ()
+
+    algorithm = "LSTF"
+
+    def __init__(
+        self,
+        default_slack: float = 0.01,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        super().__init__(
+            LstfRank(default_slack),
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )

@@ -15,29 +15,28 @@ hierarchical composition.
 The schedulability test (eq. 67) lives in
 :func:`repro.analysis.admission.delay_edd_schedulable`.
 
-Deadlines are monotone within a flow (EAT recursion plus a constant
-offset), so Delay EDD runs on the flow-head heap of
-:class:`repro.core.headheap.HeadHeapScheduler`.
+The discipline itself lives in :class:`repro.core.pifo.DelayEddRank`;
+this class is a deprecation shim (``add_flow_with_deadline`` and
+``deadlines`` are forwarded from the rank). Construct through
+``repro.make_scheduler("DelayEDD", ...)``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from repro.core.base import TieBreak
+from repro.core.pifo import DelayEddRank, PifoScheduler, warn_direct_construction
 
-from repro.core.base import SchedulerError, TieBreak
-from repro.core.flow import FlowState
-from repro.core.headheap import HeadHeapScheduler
-from repro.core.packet import Packet
+__all__ = ["DelayEDD"]
 
 
-class DelayEDD(HeadHeapScheduler):
-    """Delay Earliest-Due-Date scheduler.
+class DelayEDD(PifoScheduler):
+    """Delay Earliest-Due-Date (deprecation shim over the PIFO engine).
 
-    Flows must be registered with :meth:`add_flow_with_deadline` (each
-    flow has a deadline parameter :math:`d_f` in addition to its rate).
+    Flows must be registered with ``add_flow_with_deadline`` (each flow
+    has a deadline parameter :math:`d_f` in addition to its rate).
     """
 
-    __slots__ = ("deadlines",)
+    __slots__ = ()
 
     algorithm = "DelayEDD"
 
@@ -47,37 +46,11 @@ class DelayEDD(HeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(DelayEDD, type(self))
         super().__init__(
+            DelayEddRank(),
             tie_break=TieBreak.fifo,
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-        self.deadlines: Dict[Hashable, float] = {}
-
-    def add_flow_with_deadline(
-        self, flow_id: Hashable, rate: float, deadline: float
-    ) -> FlowState:
-        """Register a flow with rate ``rate`` (bits/s) and per-packet
-        deadline offset ``deadline`` (seconds)."""
-        if deadline <= 0:
-            raise SchedulerError(f"deadline must be positive, got {deadline}")
-        state = self.add_flow(flow_id, rate)
-        self.deadlines[flow_id] = float(deadline)
-        return state
-
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        deadline_offset = self.deadlines.get(packet.flow)
-        if deadline_offset is None:
-            raise SchedulerError(
-                f"flow {packet.flow!r} has no deadline; use add_flow_with_deadline"
-            )
-        rate = state.packet_rate(packet)
-        eat = state.eat.on_arrival(now, packet.length, rate)
-        deadline = eat + deadline_offset
-        packet.deadline = deadline
-        packet.start_tag = eat
-        return deadline
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.deadline  # type: ignore[return-value]  # stamped on enqueue

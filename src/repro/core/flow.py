@@ -150,6 +150,10 @@ class FlowState:
         """Rate assigned to ``packet``: its own rate or the flow weight."""
         return packet.rate if packet.rate is not None else self._weight
 
+    def eat_on_arrival(self, arrival: float, length: int, rate: float) -> float:
+        """Incremental expected-arrival-time step (eq. 37) for this flow."""
+        return self.eat.on_arrival(arrival, length, rate)
+
     def record_service(self, packet: Packet) -> None:
         self.bits_served += packet.length
         self.packets_served += 1

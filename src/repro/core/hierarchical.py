@@ -35,9 +35,20 @@ from typing import Callable, Dict, Hashable, List, Optional
 from repro.core.base import Scheduler, SchedulerError
 from repro.core.flow import FlowState
 from repro.core.packet import Packet
-from repro.core.sfq import SFQ
 
 SchedulerFactory = Callable[[], Scheduler]
+
+
+def _default_node_scheduler() -> Scheduler:
+    """Per-node default: SFQ, built through the construction registry.
+
+    Imported lazily — hierarchical is imported by ``repro.core`` before
+    the registry module finishes populating, so a module-level import
+    would cycle.
+    """
+    from repro.core.registry import make_scheduler
+
+    return make_scheduler("SFQ", auto_register=False)
 
 
 class SchedClass:
@@ -66,7 +77,9 @@ class SchedClass:
             raise SchedulerError(f"class weight must be positive, got {weight}")
         self.name = name
         self.weight = float(weight)
-        self.scheduler = scheduler if scheduler is not None else SFQ(auto_register=False)
+        self.scheduler = (
+            scheduler if scheduler is not None else _default_node_scheduler()
+        )
         self.parent = parent
         self.children: Dict[str, "SchedClass"] = {}
         #: The packet this class has offered to its parent (at most one).
@@ -160,7 +173,7 @@ class HierarchicalScheduler(Scheduler):
     def __init__(
         self,
         root_scheduler: Optional[Scheduler] = None,
-        default_node_scheduler: SchedulerFactory = lambda: SFQ(auto_register=False),
+        default_node_scheduler: SchedulerFactory = _default_node_scheduler,
     ) -> None:
         super().__init__(auto_register=False)
         self._node_factory = default_node_scheduler

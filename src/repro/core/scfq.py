@@ -11,26 +11,24 @@ Its fairness measure equals SFQ's,
 delay-bound benchmarks quantify (24.4 ms for a 64 Kb/s flow with 200-byte
 packets on a 100 Mb/s link).
 
-Like every tag scheduler here, SCFQ runs on the flow-head heap of
-:class:`repro.core.headheap.HeadHeapScheduler` (finish tags are monotone
-within a flow), so per-packet cost is logarithmic in backlogged flows.
+The discipline itself lives in :class:`repro.core.pifo.ScfqRank`; this
+class is a deprecation shim. Construct through
+``repro.make_scheduler("SCFQ", ...)``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.base import TieBreak
-from repro.core.flow import FlowState
-from repro.core.headheap import HeadHeapScheduler, TieBreakRule
-from repro.core.packet import Packet
-from repro.core.tagmath import start_finish
+from repro.core.headheap import TieBreakRule
+from repro.core.pifo import PifoScheduler, ScfqRank, warn_direct_construction
+
+__all__ = ["SCFQ"]
 
 
-class SCFQ(HeadHeapScheduler):
-    """Self-Clocked Fair Queuing."""
+class SCFQ(PifoScheduler):
+    """Self-Clocked Fair Queuing (deprecation shim over the PIFO engine)."""
 
-    __slots__ = ("v", "_max_served_finish")
+    __slots__ = ()
 
     algorithm = "SCFQ"
 
@@ -41,50 +39,11 @@ class SCFQ(HeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(SCFQ, type(self))
         super().__init__(
+            ScfqRank(),
             tie_break=tie_break,
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-        self.v = 0.0
-        self._max_served_finish = 0.0
-
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        # The exact-float tag recursion is shared with the slab backend
-        # via repro.core.tagmath (see its module docstring).
-        start, finish = start_finish(
-            self.v, state.last_finish, packet.length, state._weight, packet.rate
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        state.last_finish = finish
-        return finish
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
-        # Self-clocking: v(t) approximates GPS round number with the
-        # finish tag of the packet in service.
-        finish: float = packet.finish_tag  # type: ignore[assignment]  # stamped on enqueue
-        self.v = finish
-        if finish > self._max_served_finish:
-            self._max_served_finish = finish
-
-    def _do_service_complete(self, packet: Packet, now: float) -> None:
-        if self._backlog_packets == 0:
-            self.v = max(self.v, self._max_served_finish)
-
-    def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
-        packet = self._pop_tail(state)
-        tail = state.queue[-1] if state.queue else None
-        state.last_finish = (  # type: ignore[assignment]  # tags stamped on enqueue
-            tail.finish_tag if tail is not None else packet.start_tag
-        )
-        return packet
-
-    @property
-    def virtual_time(self) -> float:
-        """Current system virtual time ``v(t)``."""
-        return self.v

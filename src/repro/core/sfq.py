@@ -27,24 +27,27 @@ Properties reproduced by the test/bench suite:
 * throughput guarantee on FC/EBF servers (Theorems 2–3);
 * delay guarantee :math:`L(p) \\le EAT(p) + \\sum_{n \\ne f} l_n^{max}/C +
   l_f^j/C + \\delta(C)/C` (Theorems 4–5);
-* :math:`O(\\log Q)` per-packet cost — realized here by the flow-head
-  heap of :class:`repro.core.headheap.HeadHeapScheduler`, which keeps
-  per-packet work logarithmic in *backlogged flows*, not total backlog.
+* :math:`O(\\log Q)` per-packet cost — realized by the flow-head heap
+  under the PIFO engine, which keeps per-packet work logarithmic in
+  *backlogged flows*, not total backlog.
+
+The discipline itself lives in :class:`repro.core.pifo.SfqRank`; this
+class is a deprecation shim kept so ``isinstance`` checks and
+subclassing (e.g. chaos fixtures) continue to work. Construct through
+``repro.make_scheduler("SFQ", ...)``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.base import TieBreak
-from repro.core.flow import FlowState
-from repro.core.headheap import HeadHeapScheduler, TieBreakRule
-from repro.core.packet import Packet
-from repro.core.tagmath import start_finish
+from repro.core.headheap import TieBreakRule
+from repro.core.pifo import PifoScheduler, SfqRank, warn_direct_construction
+
+__all__ = ["SFQ"]
 
 
-class SFQ(HeadHeapScheduler):
-    """Start-time Fair Queuing.
+class SFQ(PifoScheduler):
+    """Start-time Fair Queuing (deprecation shim over the PIFO engine).
 
     Parameters
     ----------
@@ -59,7 +62,7 @@ class SFQ(HeadHeapScheduler):
         exercised by the trace-equivalence suite.
     """
 
-    __slots__ = ("v", "_max_served_finish")
+    __slots__ = ()
 
     algorithm = "SFQ"
 
@@ -70,56 +73,11 @@ class SFQ(HeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(SFQ, type(self))
         super().__init__(
+            SfqRank(),
             tie_break=tie_break,
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-        self.v = 0.0  # system virtual time v(t)
-        self._max_served_finish = 0.0
-
-    # ------------------------------------------------------------------
-    # HeadHeapScheduler hooks
-    # ------------------------------------------------------------------
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        # The exact-float tag recursion is shared with the slab backend
-        # via repro.core.tagmath (see its module docstring).
-        start, finish = start_finish(
-            self.v, state.last_finish, packet.length, state._weight, packet.rate
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        state.last_finish = finish
-        return start
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    def _on_dequeued(self, state: FlowState, packet: Packet) -> None:
-        # Rule 2: v(t) is the start tag of the packet in service.
-        self.v = packet.start_tag  # type: ignore[assignment]  # stamped on enqueue
-        finish = packet.finish_tag
-        if finish is not None and finish > self._max_served_finish:
-            self._max_served_finish = finish
-
-    def _do_service_complete(self, packet: Packet, now: float) -> None:
-        if self._backlog_packets == 0:
-            # End of busy period: v is set to the maximum finish tag
-            # assigned to any packet serviced by now (rule 2).
-            self.v = max(self.v, self._max_served_finish)
-
-    def _do_discard_tail(self, state: FlowState) -> Optional[Packet]:
-        packet = self._pop_tail(state)
-        # Re-chain future arrivals off the new tail so no virtual-time
-        # gap is left where the discarded packet sat.
-        tail = state.queue[-1] if state.queue else None
-        state.last_finish = (  # type: ignore[assignment]  # tags stamped on enqueue
-            tail.finish_tag if tail is not None else packet.start_tag
-        )
-        return packet
-
-    @property
-    def virtual_time(self) -> float:
-        """Current system virtual time ``v(t)``."""
-        return self.v

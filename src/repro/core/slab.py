@@ -295,6 +295,10 @@ class FlowView:
         rate = packet.rate
         return self._slab.weight[self._slot] if rate is None else rate
 
+    def eat_on_arrival(self, arrival: float, length: int, rate: float) -> float:
+        """Incremental expected-arrival-time step (eq. 37) for this flow."""
+        return self._slab.eat_on_arrival(self._slot, arrival, length, rate)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FlowView({self.flow_id!r}, slot={self._slot}, "

@@ -8,21 +8,22 @@ is punished later (its clock ran ahead), which is why the paper classes
 it with the real-time-but-unfair algorithms. It reappears as the
 Guaranteed Service Queue of the Fair Airport scheduler (Appendix B).
 
-EAT (and therefore the stamp) is monotone within a flow, so Virtual
-Clock runs on the flow-head heap of
-:class:`repro.core.headheap.HeadHeapScheduler`.
+The discipline itself lives in :class:`repro.core.pifo.VcRank`; this
+class is a deprecation shim. Construct through
+``repro.make_scheduler("VirtualClock", ...)``.
 """
 
 from __future__ import annotations
 
 from repro.core.base import TieBreak
-from repro.core.flow import FlowState
-from repro.core.headheap import HeadHeapScheduler, TieBreakRule
-from repro.core.packet import Packet
+from repro.core.headheap import TieBreakRule
+from repro.core.pifo import PifoScheduler, VcRank, warn_direct_construction
+
+__all__ = ["VirtualClock"]
 
 
-class VirtualClock(HeadHeapScheduler):
-    """Virtual Clock scheduler."""
+class VirtualClock(PifoScheduler):
+    """Virtual Clock scheduler (deprecation shim over the PIFO engine)."""
 
     __slots__ = ()
 
@@ -35,22 +36,11 @@ class VirtualClock(HeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(VirtualClock, type(self))
         super().__init__(
+            VcRank(),
             tie_break=tie_break,
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        rate = state.packet_rate(packet)
-        eat = state.eat.on_arrival(now, packet.length, rate)
-        stamp = eat + packet.length / rate
-        packet.timestamp = stamp
-        # Keep tags populated for uniform trace analysis.
-        packet.start_tag = eat
-        packet.finish_tag = stamp
-        return stamp
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.timestamp  # type: ignore[return-value]  # stamped on enqueue

@@ -25,25 +25,25 @@ layout.
 Eligibility only ever needs to inspect flow heads: within a flow both
 start and finish tags are monotone, so if any queued packet of a flow is
 eligible its head is too, with a smaller finish tag. WF²Q therefore
-shelves/restores at most one entry per backlogged flow per dequeue.
+shelves/restores at most one entry per backlogged flow per dequeue —
+the eligibility-gated selection path of the PIFO engine.
+
+The discipline itself lives in :class:`repro.core.pifo.Wf2qRank`
+(``eligibility=True``); this class is a deprecation shim. Construct
+through ``repro.make_scheduler("WF2Q", capacity=...)``.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import List, Optional
+from repro.core.pifo import PifoScheduler, Wf2qRank, warn_direct_construction
 
-from repro.core.flow import FlowState
-from repro.core.gps import GPSVirtualClock
-from repro.core.headheap import HeadHeapScheduler, HeapEntry
-from repro.core.packet import Packet
-from repro.core.tagmath import start_finish
+__all__ = ["WF2Q"]
 
 
-class WF2Q(HeadHeapScheduler):
-    """Worst-case Fair Weighted Fair Queueing (work-conserving variant)."""
+class WF2Q(PifoScheduler):
+    """Worst-case Fair WFQ (deprecation shim over the PIFO engine)."""
 
-    __slots__ = ("gps",)
+    __slots__ = ()
 
     algorithm = "WF2Q"
 
@@ -54,74 +54,10 @@ class WF2Q(HeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(WF2Q, type(self))
         super().__init__(
+            Wf2qRank(assumed_capacity),
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-        self.gps = GPSVirtualClock(assumed_capacity)
-
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        v = self.gps.advance(now)
-        # The exact-float tag recursion is shared with the slab backend
-        # via repro.core.tagmath (see its module docstring).
-        start, finish = start_finish(
-            v, state.last_finish, packet.length, state._weight, packet.rate
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        state.last_finish = finish
-        self.gps.on_arrival(packet.flow, state.weight, finish)
-        return finish
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    def _do_dequeue(self, now: float) -> Optional[Packet]:
-        heap = self._head_heap
-        while heap and heap[0][3] is None:
-            heapq.heappop(heap)
-        if not heap:
-            return None
-        v = self.gps.advance(now)
-        # Pop ineligible flow heads aside until an eligible one surfaces.
-        shelved: List[HeapEntry] = []
-        chosen: Optional[HeapEntry] = None
-        while heap:
-            entry = heapq.heappop(heap)
-            packet = entry[3]
-            if packet is None:
-                continue
-            if packet.start_tag is not None and packet.start_tag <= v + 1e-12:
-                chosen = entry
-                break
-            shelved.append(entry)
-        if chosen is None:
-            # Work-conserving fallback: smallest start tag, ties by uid.
-            chosen = min(shelved, key=lambda e: (e[3].start_tag, e[2]))
-            for entry in shelved:
-                if entry is not chosen:
-                    heapq.heappush(heap, entry)
-        else:
-            for entry in shelved:
-                heapq.heappush(heap, entry)
-        return self._consume_entry(chosen)
-
-    def peek(self, now: float) -> Optional[Packet]:
-        """Packet the next ``dequeue`` would return (no side effects)."""
-        heap = self._head_heap
-        while heap and heap[0][3] is None:
-            heapq.heappop(heap)
-        if not heap:
-            return None
-        v = self.gps.advance(now)
-        live = [e for e in heap if e[3] is not None]
-        eligible = [e for e in live if e[3].start_tag <= v + 1e-12]
-        if eligible:
-            return min(eligible, key=lambda e: (e[3].finish_tag, e[2]))[3]
-        return min(live, key=lambda e: (e[3].start_tag, e[2]))[3]
-
-    @property
-    def virtual_time(self) -> float:
-        """Fluid GPS virtual time at the last advance."""
-        return self.gps.v

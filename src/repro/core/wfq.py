@@ -14,23 +14,27 @@ The paper's critique, reproduced by our benchmarks:
 * it is built on an assumed constant capacity, so it is unfair on
   variable-rate servers (Example 2, Figure 1(b)).
 
-Both WFQ and FQS run on the flow-head heap of
-:class:`repro.core.headheap.HeadHeapScheduler`; the fluid GPS tracker
-remains their dominant per-packet cost.
+The disciplines themselves live in :class:`repro.core.pifo.WfqRank` and
+:class:`repro.core.pifo.FqsRank`; these classes are deprecation shims.
+Construct through ``repro.make_scheduler("WFQ", capacity=...)``.
 """
 
 from __future__ import annotations
 
 from repro.core.base import TieBreak
-from repro.core.flow import FlowState
-from repro.core.gps import GPSVirtualClock
-from repro.core.headheap import HeadHeapScheduler, TieBreakRule
-from repro.core.packet import Packet
-from repro.core.tagmath import start_finish
+from repro.core.headheap import TieBreakRule
+from repro.core.pifo import (
+    FqsRank,
+    PifoScheduler,
+    WfqRank,
+    warn_direct_construction,
+)
+
+__all__ = ["WFQ", "FQS"]
 
 
-class WFQ(HeadHeapScheduler):
-    """Weighted Fair Queuing (packet-by-packet GPS).
+class WFQ(PifoScheduler):
+    """Weighted Fair Queuing (deprecation shim over the PIFO engine).
 
     Parameters
     ----------
@@ -40,7 +44,7 @@ class WFQ(HeadHeapScheduler):
         that differs from reality reproduces Example 2's unfairness.
     """
 
-    __slots__ = ("gps",)
+    __slots__ = ()
 
     algorithm = "WFQ"
 
@@ -52,42 +56,17 @@ class WFQ(HeadHeapScheduler):
         default_weight: float = 1.0,
         debug_checks: bool = False,
     ) -> None:
+        warn_direct_construction(WFQ, type(self))
         super().__init__(
+            WfqRank(assumed_capacity),
             tie_break=tie_break,
             auto_register=auto_register,
             default_weight=default_weight,
             debug_checks=debug_checks,
         )
-        self.gps = GPSVirtualClock(assumed_capacity)
-
-    def _stamp(self, state: FlowState, packet: Packet, now: float) -> float:
-        """Shared WFQ/FQS arrival work: advance GPS, stamp both tags."""
-        v = self.gps.advance(now)
-        # The exact-float tag recursion is shared with the slab backend
-        # via repro.core.tagmath (see its module docstring).
-        start, finish = start_finish(
-            v, state.last_finish, packet.length, state._weight, packet.rate
-        )
-        packet.start_tag = start
-        packet.finish_tag = finish
-        state.last_finish = finish
-        self.gps.on_arrival(packet.flow, state.weight, finish)
-        return start
-
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        self._stamp(state, packet, now)
-        return packet.finish_tag  # type: ignore[return-value]  # stamped by _stamp
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.finish_tag  # type: ignore[return-value]  # stamped on enqueue
-
-    @property
-    def virtual_time(self) -> float:
-        """Fluid GPS virtual time at the last advance."""
-        return self.gps.v
 
 
-class FQS(WFQ):
+class FQS(PifoScheduler):
     """Fair Queuing based on Start-time (Greenberg & Madras 1992).
 
     Identical tag computation to WFQ (fluid GPS ``v(t)``), but packets
@@ -100,8 +79,19 @@ class FQS(WFQ):
 
     algorithm = "FQS"
 
-    def _tag_packet(self, state: FlowState, packet: Packet, now: float) -> float:
-        return self._stamp(state, packet, now)
-
-    def _head_key(self, packet: Packet) -> float:
-        return packet.start_tag  # type: ignore[return-value]  # stamped on enqueue
+    def __init__(
+        self,
+        assumed_capacity: float,
+        tie_break: TieBreakRule = TieBreak.fifo,
+        auto_register: bool = True,
+        default_weight: float = 1.0,
+        debug_checks: bool = False,
+    ) -> None:
+        warn_direct_construction(FQS, type(self))
+        super().__init__(
+            FqsRank(assumed_capacity),
+            tie_break=tie_break,
+            auto_register=auto_register,
+            default_weight=default_weight,
+            debug_checks=debug_checks,
+        )

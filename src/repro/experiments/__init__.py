@@ -61,6 +61,7 @@ REGISTRY: Dict[str, str] = {
     "robust-figure1": "repro.experiments.robustness:run_figure1_robustness",
     "robust-figure2b": "repro.experiments.robustness:run_figure2b_robustness",
     "complexity": "repro.experiments.complexity:run_complexity",
+    "pifo_fidelity": "repro.experiments.pifo_fidelity:run_pifo_fidelity",
 }
 
 #: One-line description per registered experiment (``python -m repro list``).
@@ -92,6 +93,8 @@ DESCRIPTIONS: Dict[str, str] = {
     "robust-figure1": "Robustness: Figure 1(b) across buffers and seeds",
     "robust-figure2b": "Robustness: Figure 2(b) excess across seeds",
     "complexity": "Complexity accounting: GPS work vs self-clocking",
+    "pifo_fidelity": "SP-PIFO band sweep: inversion rate + throughput "
+                     "error vs exact SFQ, k in {1..32}",
 }
 
 #: Experiments whose run function accepts a ``seed=`` keyword. The
@@ -99,7 +102,7 @@ DESCRIPTIONS: Dict[str, str] = {
 #: deterministic and run exactly once per parameter set.
 ACCEPTS_SEED = frozenset(
     {"table1", "figure1", "figure2b", "ebf", "residual", "vbr", "stress",
-     "faults", "chaos", "scale"}
+     "faults", "chaos", "scale", "pifo_fidelity"}
 )
 
 #: Experiments whose run function accepts a ``duration=`` keyword.

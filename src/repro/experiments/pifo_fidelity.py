@@ -1,0 +1,231 @@
+"""SP-PIFO fidelity: how many strict-priority bands does SFQ need?
+
+A true PIFO admits to an arbitrary rank position; SP-PIFO (Alcoz et
+al., NSDI 2019) approximates it with ``k`` strict-priority FIFO bands
+whose admission bounds adapt online (push-up on admission, push-down on
+underflow).  The approximation serves some packets out of rank order —
+*inversions* — and every inversion transfers a little service between
+flows.  This experiment quantifies that loss for the paper's SFQ rank
+function:
+
+* **inversion rate** — fraction of dequeues whose packet had a strictly
+  larger start tag than some packet still queued (measured against the
+  exact rank order SP-PIFO itself maintains as a shadow heap);
+* **unpifoness** — the magnitude-weighted variant (mean positive rank
+  gap per dequeue, Alcoz et al.): the boolean rate saturates once a
+  single small-rank packet is stranded, the gap does not;
+* **per-flow throughput error** — mean relative deviation of each
+  flow's cumulative ``bits_served`` from the exact-SFQ allocation,
+  sampled at every burst end (the instants where the weighted
+  allocation of Theorem 1 is actually contended).  This is the metric
+  that matters for the paper: a FIFO scores *low* on unpifoness (it
+  rarely strands the oldest packet for long) while failing the
+  weighted allocation completely; banding inverts that trade.
+
+The workload is adversarial for a FIFO but fair to SP-PIFO: all flows
+arrive at the *same* packet rate with weights spread 1:8, so the SFQ
+start tags diverge hard from arrival order (a light flow's tags race
+ahead at 8x the rate of a heavy flow's), and bursts alternate with
+drain gaps so the band bounds can track the tag drift.  Both sides see
+byte-identical arrivals on an identical direct-drive constant-rate
+link, so every divergence is attributable to banding.  ``bands=0`` runs
+the engine's exact (heap) mode and must show zero error — the
+degenerate case the unit tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.core import Packet, Scheduler
+from repro.core.registry import make_scheduler
+from repro.experiments.harness import ExperimentResult
+
+#: Link rate for the direct drive (bits/second).
+CAPACITY = 1_000_000.0
+#: Flow weights: a 1:8 spread so low-weight flows are the fairness
+#: canaries (inversions mostly steal service for them).  Arrival rates
+#: are deliberately *equal* across flows — were they weight-
+#: proportional, every flow's tags would advance at the same
+#: bits/weight rate and rank order would collapse onto arrival order,
+#: making banding (and the whole experiment) a no-op.
+WEIGHTS = (1.0, 1.0, 2.0, 2.0, 4.0, 4.0, 8.0, 8.0)
+#: Aggregate overload factor *during a burst* — high enough that even
+#: the heaviest flow (8/30 of the link) stays backlogged on its equal
+#: 1/8 arrival share, so served bits track the scheduler's allocation.
+OVERLOAD = 2.5
+#: Burst/period of the on-off cycle (seconds).  The gap is sized so the
+#: link fully drains between bursts (OVERLOAD * BURST < PERIOD):
+#: sustained overload would strand the SP-PIFO cold-start packets in
+#: the bottom band forever (the bound ladder only sweeps upward),
+#: saturating the inversion metric at ~1 for every k.  Periodic drains
+#: — the regime SP-PIFO itself is evaluated in — keep the backlog
+#: honest while still forcing rank contention.
+BURST = 0.3
+PERIOD = 0.8
+
+
+def _arrival_schedule(
+    seed: int, horizon: float
+) -> List[Tuple[float, Hashable, int]]:
+    """Deterministic per-flow arrival list, merged and time-sorted.
+
+    On-off cycles: for ``BURST`` seconds out of every ``PERIOD``, each
+    flow offers an equal ``OVERLOAD/len(WEIGHTS)`` share of the link in
+    jittered packets of mixed size; the jitter and sizes come from one
+    seeded stream so every scheduler under test replays the same tape.
+    """
+    rng = random.Random(seed)
+    cycles = int(horizon / PERIOD)
+    rate = OVERLOAD * CAPACITY / len(WEIGHTS)
+    arrivals: List[Tuple[float, Hashable, int]] = []
+    for i in range(len(WEIGHTS)):
+        for cycle in range(cycles):
+            t = cycle * PERIOD
+            end = t + BURST
+            while t < end:
+                length = rng.choice((400, 800, 1600))
+                arrivals.append((t, f"f{i}", length))
+                t += (length / rate) * (0.5 + rng.random())
+    arrivals.sort(key=lambda a: (a[0], a[1]))
+    return arrivals
+
+
+def _burst_ends(horizon: float) -> List[float]:
+    """The sampling instants: the end of each overload burst."""
+    return [c * PERIOD + BURST for c in range(int(horizon / PERIOD))]
+
+
+def _drive(
+    sched: Scheduler,
+    arrivals: Sequence[Tuple[float, Hashable, int]],
+    horizon: float,
+) -> List[Dict[Hashable, int]]:
+    """Serve ``arrivals`` on a constant-rate link until ``horizon``.
+
+    Returns per-flow cumulative bits served, snapshotted at every burst
+    end.  The loop mirrors ``servers.Link``'s dequeue/complete cycle
+    without the event engine, so runs are exact replays: same arrival
+    tape + same scheduler decisions -> same tape of departures.
+    """
+    for i, weight in enumerate(WEIGHTS):
+        sched.add_flow(f"f{i}", weight)
+    seqnos: Dict[Hashable, int] = {}
+    samples = _burst_ends(horizon)
+    snapshots: List[Dict[Hashable, int]] = []
+    idx = 0
+    now = 0.0
+    n = len(arrivals)
+
+    def admit(upto: float) -> None:
+        nonlocal idx
+        while idx < n and arrivals[idx][0] <= upto:
+            t, flow, length = arrivals[idx]
+            seqno = seqnos.get(flow, 0)
+            seqnos[flow] = seqno + 1
+            sched.enqueue(Packet(flow, length, seqno=seqno), t)
+            idx += 1
+
+    def snapshot_through(upto: float) -> None:
+        while len(snapshots) < len(samples) and samples[len(snapshots)] <= upto:
+            snapshots.append(
+                {
+                    f"f{i}": sched.flows[f"f{i}"].bits_served
+                    for i in range(len(WEIGHTS))
+                }
+            )
+
+    while now < horizon:
+        admit(now)
+        packet = sched.dequeue(now)
+        if packet is None:
+            if idx >= n:
+                break
+            snapshot_through(arrivals[idx][0])
+            now = arrivals[idx][0]
+            continue
+        now += packet.length / CAPACITY
+        snapshot_through(now)
+        admit(now)
+        sched.on_service_complete(packet, now)
+    snapshot_through(horizon)
+    return snapshots
+
+
+def _mean_abs_error(
+    served: List[Dict[Hashable, int]], exact: List[Dict[Hashable, int]]
+) -> float:
+    """Mean relative per-flow deviation from the exact allocation,
+    averaged over every (burst-end, flow) sample."""
+    errors = [
+        abs(s[flow] - bits) / bits
+        for s, e in zip(served, exact)
+        for flow, bits in e.items()
+        if bits > 0
+    ]
+    return sum(errors) / len(errors) if errors else 0.0
+
+
+def run_pifo_fidelity(
+    bands: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    seed: int = 1,
+    horizon: float = 4.0,
+) -> ExperimentResult:
+    """Bands-vs-fidelity curve for SP-PIFO over the SFQ rank function."""
+    arrivals = _arrival_schedule(seed, horizon)
+    exact = _drive(make_scheduler("SFQ"), arrivals, horizon)
+
+    result = ExperimentResult(
+        experiment="PIFO fidelity (SP-PIFO band sweep)",
+        description=(
+            "SP-PIFO approximation of SFQ with k strict-priority bands: "
+            "rank-inversion rate and mean per-flow throughput error vs "
+            "the exact PIFO, identical arrival tape "
+            f"({len(arrivals)} packets, {OVERLOAD}x burst overload, "
+            "equal arrival rates, weights 1:8). More bands -> fewer "
+            "inversions -> Theorem 1's allocation recovered."
+        ),
+        headers=[
+            "bands k",
+            "inversion rate",
+            "unpifoness/pkt (tag units)",
+            "mean per-flow throughput error",
+            "dequeues",
+        ],
+    )
+    curve: Dict[int, Dict[str, float]] = {}
+    for k in bands:
+        sched = make_scheduler("SFQ", bands=k, track_inversions=True)
+        served = _drive(sched, arrivals, horizon)
+        error = _mean_abs_error(served, exact)
+        per_pkt = sched.unpifoness / sched.dequeues if sched.dequeues else 0.0
+        curve[k] = {
+            "inversion_rate": sched.inversion_rate,
+            "unpifoness_per_packet": per_pkt,
+            "throughput_error": error,
+            "inversions": float(sched.inversions),
+            "dequeues": float(sched.dequeues),
+        }
+        result.add_row(k, sched.inversion_rate, per_pkt, error, sched.dequeues)
+    errors = [curve[k]["throughput_error"] for k in bands]
+    if list(bands) == sorted(bands) and len(bands) >= 2:
+        # The headline claim: banding recovers the weighted allocation —
+        # the k=1 FIFO must be the worst point on the error curve.
+        assert errors[-1] < errors[0], (errors[0], errors[-1])
+    result.note(
+        "k=1 is a plain FIFO (every dequeue can invert); the shadow-heap "
+        "inversion accounting is exact, not sampled"
+    )
+    result.note(
+        "unpifoness shrinks with k but stays above the FIFO's — strict "
+        "bands reorder locally to buy the globally-correct weighted "
+        "shares the throughput-error column shows"
+    )
+    result.note("bands=0 selects the engine's exact heap mode (error 0)")
+    result.data["bands"] = list(bands)
+    result.data["curve"] = curve
+    result.data["exact_bits_served"] = {
+        str(flow): bits for flow, bits in exact[-1].items()
+    } if exact else {}
+    return result

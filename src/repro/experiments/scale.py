@@ -1,4 +1,4 @@
-"""Million-flow hierarchical link-sharing stress (ROADMAP item 1).
+"""Million-flow hierarchical link-sharing stress (the ROADMAP's scale item).
 
 The paper's deployment story (§3–4) is hierarchical SFQ link-sharing
 over very large flow populations — "every user of a large network holds

@@ -28,7 +28,12 @@ from repro.core.registry import ParamSpec, SchedulerSpec, register_scheduler
 CAPACITY = 1e6
 
 #: Disciplines that emulate a fluid reference and must be told the rate.
-RATE_PROPORTIONAL = {"WFQ", "FQS", "WF2Q"}
+#: Derived from the spec's ``needs_capacity`` flag — the single source of
+#: truth for the uniform-ladder capacity contract.
+RATE_PROPORTIONAL = {
+    name for name in available_schedulers()
+    if scheduler_spec(name).needs_capacity
+}
 
 
 def test_available_schedulers_cover_the_comparison_ladder():
@@ -184,6 +189,7 @@ def test_experiments_and_examples_construct_only_via_registry():
     repo = Path(__file__).resolve().parent.parent
     hits = _violations(repo / "src" / "repro" / "experiments")
     hits += _violations(repo / "examples")
+    hits += _violations(repo / "benchmarks")
     assert not hits, (
         "direct scheduler constructor calls (use make_scheduler): "
         + ", ".join(hits)

@@ -193,9 +193,9 @@ def _opt(name, **kwargs):
     return factory
 
 
-# DelayEDD has no array variant; under backend="array" the registry
-# falls back to the object implementation, which must (trivially) stay
-# trace-identical — the fallback path is part of what this suite gates.
+# Since the PIFO core every tag discipline, DelayEDD included, has a
+# real array variant (a rank function on ArrayPifoScheduler); both
+# backends must stay byte-identical to the frozen legacy cores.
 SCHEDULERS = {
     "SFQ": (_opt("SFQ"), lambda: LegacySFQ(), None),
     "SCFQ": (_opt("SCFQ"), lambda: LegacySCFQ(), None),
